@@ -1,0 +1,122 @@
+// Reproduces Tables II & III of the HyGNN paper: the novel-DDI case
+// study. Several drugs are designated "new": every pair touching them is
+// removed from training. HyGNN (k-mer & MLP) is trained on the rest and
+// then asked to score pairs of the new drugs. Predictions are validated
+// against the latent ground-truth rule, which plays the role of the
+// paper's external gold-standard databases (DrugBank / MedScape).
+//
+// Table II: drug-pair ids, predicted score, external validation label.
+// Table III: the id -> name registry for the drugs involved.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "bench/experiment.h"
+#include "graph/builders.h"
+
+namespace hygnn::bench {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  core::FlagParser flags;
+  if (!flags.Parse(argc, argv).ok()) return 1;
+  ExperimentConfig config = ExperimentConfig::FromFlags(flags);
+  const int32_t num_new_drugs =
+      static_cast<int32_t>(flags.GetInt("new_drugs", 5));
+  ExperimentContext context(config);
+  const auto& dataset = context.dataset();
+
+  // Designate the "new" drugs deterministically.
+  core::Rng pick_rng(config.seed ^ 0x777);
+  std::vector<int32_t> new_drugs;
+  {
+    auto picks = pick_rng.SampleWithoutReplacement(
+        dataset.num_drugs(), static_cast<size_t>(num_new_drugs));
+    for (size_t p : picks) new_drugs.push_back(static_cast<int32_t>(p));
+    std::sort(new_drugs.begin(), new_drugs.end());
+  }
+
+  // Cold-start split: pairs touching new drugs go to test only.
+  core::Rng pair_rng(config.seed ^ 0x888);
+  auto pairs = data::BuildBalancedPairs(dataset, &pair_rng);
+  auto cold = data::ColdStartSplit(pairs, new_drugs);
+
+  // Train HyGNN k-mer & MLP on the remaining pairs.
+  const auto& featurizer = context.kmer();
+  auto hypergraph = graph::BuildDrugHypergraph(
+      featurizer.drug_substructures(), featurizer.num_substructures());
+  auto hyper_context = model::HypergraphContext::FromHypergraph(hypergraph);
+  core::Rng model_rng(config.seed ^ 0x999);
+  model::HyGnnConfig model_config;
+  model_config.encoder.hidden_dim = config.hidden_dim;
+  model_config.encoder.output_dim = config.hidden_dim;
+  model_config.encoder.dropout = 0.1f;
+  model::HyGnnModel hygnn(featurizer.num_substructures(), model_config,
+                          &model_rng);
+  model::TrainConfig train_config;
+  train_config.epochs = config.epochs;
+  train_config.weight_decay = 1e-4f;
+  train_config.seed = config.seed ^ 0xaaa;
+  model::HyGnnTrainer trainer(&hygnn, train_config);
+  trainer.Fit(hyper_context, cold.train);
+
+  // Overall cold-start quality.
+  auto cold_metrics = trainer.Evaluate(hyper_context, cold.test);
+  std::printf("=== Case study: %d new drugs held out of training ===\n",
+              num_new_drugs);
+  std::printf("cold-start test metrics: F1 %.3f  ROC-AUC %.3f  PR-AUC "
+              "%.3f  (%zu pairs)\n\n",
+              cold_metrics.f1, cold_metrics.roc_auc, cold_metrics.pr_auc,
+              cold.test.size());
+
+  // Table II: per-pair predictions for a sample of held-out pairs —
+  // strongest predicted positives and negatives, validated externally.
+  std::vector<data::LabeledPair> sample;
+  std::set<int32_t> involved(new_drugs.begin(), new_drugs.end());
+  {
+    auto scores = hygnn.PredictProbabilities(hyper_context, cold.test);
+    std::vector<size_t> order(cold.test.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+      return scores[a] > scores[b];
+    });
+    std::printf("--- Table II: novel DDI predictions ---\n");
+    std::printf("%-10s %-10s %16s %18s\n", "Drug1", "Drug2",
+                "Predicted score", "Oracle label");
+    auto print_pair = [&](size_t index) {
+      const auto& pair = cold.test[index];
+      const bool oracle = dataset.OracleInteracts(pair.a, pair.b);
+      std::printf("%-10s %-10s %16.5f %18s\n",
+                  dataset.drugs()[pair.a].drugbank_id.c_str(),
+                  dataset.drugs()[pair.b].drugbank_id.c_str(),
+                  scores[index], oracle ? "1 (interacts)" : "0");
+      involved.insert(pair.a);
+      involved.insert(pair.b);
+    };
+    const size_t top = std::min<size_t>(5, order.size());
+    for (size_t i = 0; i < top; ++i) print_pair(order[i]);
+    const size_t bottom = std::min<size_t>(5, order.size() - top);
+    for (size_t i = 0; i < bottom; ++i) {
+      print_pair(order[order.size() - 1 - i]);
+    }
+  }
+
+  // Table III: names of every drug that appears above.
+  std::printf("\n--- Table III: drug registry for Table II ---\n");
+  std::printf("%-10s %-22s %s\n", "Drug", "Name", "Held out?");
+  for (int32_t d : involved) {
+    const bool held =
+        std::find(new_drugs.begin(), new_drugs.end(), d) != new_drugs.end();
+    std::printf("%-10s %-22s %s\n",
+                dataset.drugs()[d].drugbank_id.c_str(),
+                dataset.drugs()[d].name.c_str(), held ? "yes" : "no");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hygnn::bench
+
+int main(int argc, char** argv) { return hygnn::bench::Main(argc, argv); }

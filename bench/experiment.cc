@@ -1,0 +1,168 @@
+#include "bench/experiment.h"
+
+#include <cstdio>
+
+#include "core/logging.h"
+#include "core/string_util.h"
+#include "graph/builders.h"
+
+namespace hygnn::bench {
+
+namespace {
+
+data::DdiDataset BuildDataset(const ExperimentConfig& config) {
+  data::DatasetConfig data_config;
+  data_config.num_drugs = config.num_drugs;
+  data_config.seed = config.seed;
+  data_config.positive_keep_prob = config.keep_prob;
+  data_config.false_positive_rate = config.fp_rate;
+  auto dataset_or = data::GenerateDataset(data_config);
+  HYGNN_CHECK(dataset_or.ok()) << dataset_or.status().ToString();
+  return std::move(dataset_or).value();
+}
+
+data::SubstructureFeaturizer BuildFeaturizer(
+    const data::DdiDataset& dataset, data::SubstructureMode mode,
+    const ExperimentConfig& config) {
+  data::FeaturizeConfig feat_config;
+  feat_config.mode = mode;
+  feat_config.espf_frequency_threshold = config.espf_threshold;
+  feat_config.kmer_k = config.kmer_k;
+  auto featurizer_or =
+      data::SubstructureFeaturizer::Build(dataset.drugs(), feat_config);
+  HYGNN_CHECK(featurizer_or.ok()) << featurizer_or.status().ToString();
+  return std::move(featurizer_or).value();
+}
+
+}  // namespace
+
+ExperimentConfig ExperimentConfig::FromFlags(const core::FlagParser& flags) {
+  ExperimentConfig config;
+  config.num_drugs =
+      static_cast<int32_t>(flags.GetInt("drugs", config.num_drugs));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.runs = static_cast<int32_t>(flags.GetInt("runs", config.runs));
+  config.epochs = static_cast<int32_t>(flags.GetInt("epochs",
+                                                    config.epochs));
+  config.train_fraction =
+      flags.GetDouble("train_fraction", config.train_fraction);
+  config.espf_threshold =
+      flags.GetInt("espf_threshold", config.espf_threshold);
+  config.kmer_k = flags.GetInt("kmer_k", config.kmer_k);
+  config.hidden_dim = flags.GetInt("hidden_dim", config.hidden_dim);
+  config.keep_prob = flags.GetDouble("keep_prob", config.keep_prob);
+  config.fp_rate = flags.GetDouble("fp_rate", config.fp_rate);
+  config.verbose = flags.GetBool("verbose", false);
+  return config;
+}
+
+baselines::BaselineConfig ExperimentConfig::ToBaselineConfig() const {
+  baselines::BaselineConfig config;
+  config.embedding_dim = hidden_dim;
+  config.classifier_hidden_dim = hidden_dim;
+  config.epochs = epochs;
+  return config;
+}
+
+baselines::BaselineInputs Round::MakeBaselineInputs() const {
+  baselines::BaselineInputs inputs;
+  inputs.num_drugs = dataset->num_drugs();
+  inputs.drugs = &dataset->drugs();
+  inputs.drug_substructures = &espf->drug_substructures();
+  inputs.num_substructures = espf->num_substructures();
+  inputs.train = split.train;
+  inputs.test = split.test;
+  inputs.seed = seed;
+  return inputs;
+}
+
+ExperimentContext::ExperimentContext(const ExperimentConfig& config)
+    : config_(config),
+      dataset_(BuildDataset(config)),
+      espf_(BuildFeaturizer(dataset_, data::SubstructureMode::kEspf,
+                            config)),
+      kmer_(BuildFeaturizer(dataset_, data::SubstructureMode::kKmer,
+                            config)) {
+  HYGNN_LOG(Info) << "corpus: " << dataset_.num_drugs() << " drugs, "
+                  << dataset_.positives().size() << " recorded DDIs, "
+                  << espf_.num_substructures() << " ESPF substructures, "
+                  << kmer_.num_substructures() << " k-mers";
+}
+
+Round ExperimentContext::MakeRound(int32_t run_index,
+                                   double train_fraction) const {
+  Round round;
+  round.dataset = &dataset_;
+  round.espf = &espf_;
+  round.kmer = &kmer_;
+  round.seed = config_.seed + 1000 + static_cast<uint64_t>(run_index);
+  core::Rng rng(round.seed);
+  auto pairs = data::BuildBalancedPairs(dataset_, &rng);
+  round.split = data::RandomSplit(std::move(pairs), train_fraction, &rng);
+  return round;
+}
+
+Round ExperimentContext::MakeRound(int32_t run_index) const {
+  return MakeRound(run_index, config_.train_fraction);
+}
+
+model::EvalResult RunHyGnnVariant(const Round& round, HyGnnFeatures features,
+                                  model::DecoderKind decoder,
+                                  const ExperimentConfig& config) {
+  const data::SubstructureFeaturizer& featurizer =
+      features == HyGnnFeatures::kEspf ? *round.espf : *round.kmer;
+  auto hypergraph = graph::BuildDrugHypergraph(
+      featurizer.drug_substructures(), featurizer.num_substructures());
+  auto context = model::HypergraphContext::FromHypergraph(hypergraph);
+
+  core::Rng rng(round.seed ^ 0xabcdef12);
+  model::HyGnnConfig model_config;
+  model_config.encoder.hidden_dim = config.hidden_dim;
+  model_config.encoder.output_dim = config.hidden_dim;
+  // The parameter-free dot decoder can only raise pair scores by growing
+  // embedding magnitudes, so it needs a stronger leash than the MLP.
+  const bool is_dot = decoder == model::DecoderKind::kDot;
+  model_config.encoder.dropout = is_dot ? 0.2f : 0.1f;
+  model_config.decoder = decoder;
+  model_config.decoder_hidden_dim = config.hidden_dim;
+  model::HyGnnModel model(featurizer.num_substructures(), model_config,
+                          &rng);
+  model::TrainConfig train_config;
+  train_config.epochs = config.epochs;
+  train_config.weight_decay = is_dot ? 1e-3f : 1e-4f;
+  train_config.seed = round.seed ^ 0x12345678;
+  train_config.verbose = config.verbose;
+  model::HyGnnTrainer trainer(&model, train_config);
+  trainer.Fit(context, round.split.train);
+  return trainer.Evaluate(context, round.split.test);
+}
+
+AggregatedResult Aggregate(const std::vector<model::EvalResult>& results) {
+  std::vector<double> f1, roc, pr;
+  for (const auto& result : results) {
+    f1.push_back(result.f1);
+    roc.push_back(result.roc_auc);
+    pr.push_back(result.pr_auc);
+  }
+  AggregatedResult aggregated;
+  aggregated.f1 = metrics::AggregateOf(f1);
+  aggregated.roc_auc = metrics::AggregateOf(roc);
+  aggregated.pr_auc = metrics::AggregateOf(pr);
+  return aggregated;
+}
+
+void PrintTableHeader() {
+  std::printf("%-22s %-14s %8s %10s %10s\n", "Model", "Method", "F1",
+              "ROC-AUC", "PR-AUC");
+  std::printf("%s\n", std::string(68, '-').c_str());
+}
+
+void PrintTableRow(const std::string& group, const std::string& method,
+                   const AggregatedResult& result) {
+  std::printf("%-22s %-14s %8.3f %10.3f %10.3f\n", group.c_str(),
+              method.c_str(), result.f1.mean, result.roc_auc.mean,
+              result.pr_auc.mean);
+  std::fflush(stdout);
+}
+
+}  // namespace hygnn::bench

@@ -1,0 +1,107 @@
+#ifndef HYGNN_BENCH_EXPERIMENT_H_
+#define HYGNN_BENCH_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "core/flags.h"
+#include "data/featurize.h"
+#include "data/generator.h"
+#include "data/pairs.h"
+#include "hygnn/model.h"
+#include "hygnn/trainer.h"
+#include "metrics/metrics.h"
+
+namespace hygnn::bench {
+
+/// Shared configuration for the table/figure benches. Defaults are the
+/// scaled-down configuration (finishes in minutes on a laptop CPU);
+/// paper scale is `--drugs 824 --epochs 600 --runs 5 --espf_threshold 5
+/// --kmer_k 10`.
+struct ExperimentConfig {
+  int32_t num_drugs = 200;
+  uint64_t seed = 42;
+  int32_t runs = 3;
+  int32_t epochs = 200;
+  double train_fraction = 0.7;
+  int64_t espf_threshold = 3;
+  int64_t kmer_k = 6;
+  int64_t hidden_dim = 64;
+  /// Observation noise of the recorded-DDI list (see DatasetConfig).
+  double keep_prob = 0.85;
+  double fp_rate = 0.015;
+  bool verbose = false;
+
+  /// Reads overrides from --drugs/--seed/--runs/--epochs/
+  /// --train_fraction/--espf_threshold/--kmer_k/--hidden_dim/--verbose.
+  static ExperimentConfig FromFlags(const core::FlagParser& flags);
+
+  baselines::BaselineConfig ToBaselineConfig() const;
+};
+
+/// One prepared evaluation round: dataset + both featurizations + a
+/// fresh balanced split. Each of the paper's 5 repetitions is one Round
+/// with a different split seed.
+struct Round {
+  const data::DdiDataset* dataset = nullptr;
+  const data::SubstructureFeaturizer* espf = nullptr;
+  const data::SubstructureFeaturizer* kmer = nullptr;
+  data::PairSplit split;
+  uint64_t seed = 0;
+
+  baselines::BaselineInputs MakeBaselineInputs() const;
+};
+
+/// Owns the corpus and featurizers for a whole experiment and produces
+/// per-run Rounds with fresh splits.
+class ExperimentContext {
+ public:
+  explicit ExperimentContext(const ExperimentConfig& config);
+
+  /// A fresh balanced split for repetition `run_index`, optionally with
+  /// a non-default training fraction (Figure 2 sweeps it).
+  Round MakeRound(int32_t run_index, double train_fraction) const;
+  Round MakeRound(int32_t run_index) const;
+
+  const data::DdiDataset& dataset() const { return dataset_; }
+  const data::SubstructureFeaturizer& espf() const { return espf_; }
+  const data::SubstructureFeaturizer& kmer() const { return kmer_; }
+  const ExperimentConfig& config() const { return config_; }
+
+ private:
+  ExperimentConfig config_;
+  data::DdiDataset dataset_;
+  data::SubstructureFeaturizer espf_;
+  data::SubstructureFeaturizer kmer_;
+};
+
+/// Substructure source for a HyGNN variant (paper: ESPF vs k-mer).
+enum class HyGnnFeatures { kEspf, kKmer };
+
+/// Trains one HyGNN variant on the round's split and evaluates on its
+/// test fold.
+model::EvalResult RunHyGnnVariant(const Round& round, HyGnnFeatures features,
+                                  model::DecoderKind decoder,
+                                  const ExperimentConfig& config);
+
+/// Mean metrics over repeated runs of a (re-seeded) experiment closure.
+struct AggregatedResult {
+  metrics::Aggregate f1;
+  metrics::Aggregate roc_auc;
+  metrics::Aggregate pr_auc;
+};
+
+AggregatedResult Aggregate(const std::vector<model::EvalResult>& results);
+
+/// Prints one Table-I-style row: group | method | F1 | ROC-AUC | PR-AUC.
+void PrintTableRow(const std::string& group, const std::string& method,
+                   const AggregatedResult& result);
+
+/// Prints the table header matching PrintTableRow's columns.
+void PrintTableHeader();
+
+}  // namespace hygnn::bench
+
+#endif  // HYGNN_BENCH_EXPERIMENT_H_

@@ -1,0 +1,112 @@
+// Cold-start screening: predict interaction partners for a drug that
+// was never seen during training — the paper's motivating scenario for
+// a SMILES-only model ("applicable to any drugs, including new drugs").
+//
+// The new drug enters the system as a raw SMILES string. Its hyperedge
+// is built by segmenting that SMILES against the existing substructure
+// vocabulary (`SegmentNewSmiles`); no interaction data for it exists
+// anywhere in training. The trained model then screens it against the
+// whole library and prints the strongest predicted interactions, with
+// the generator's latent rule as the external validator.
+//
+// Build & run:  ./build/examples/cold_start_screening
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "data/featurize.h"
+#include "data/generator.h"
+#include "data/pairs.h"
+#include "graph/builders.h"
+#include "hygnn/model.h"
+#include "hygnn/trainer.h"
+
+int main() {
+  using namespace hygnn;
+
+  // Corpus and featurization. The last drug plays the "new drug": its
+  // pairs are stripped from training and its SMILES is treated as the
+  // only thing we know about it.
+  data::DatasetConfig data_config;
+  data_config.num_drugs = 140;
+  data_config.seed = 555;
+  auto dataset = data::GenerateDataset(data_config).value();
+  const int32_t new_drug = dataset.num_drugs() - 1;
+  const auto& new_record = dataset.drugs()[static_cast<size_t>(new_drug)];
+  std::printf("new drug: %s (%s)\n  SMILES: %s\n",
+              new_record.drugbank_id.c_str(), new_record.name.c_str(),
+              new_record.smiles.c_str());
+
+  data::FeaturizeConfig feat_config;
+  feat_config.mode = data::SubstructureMode::kEspf;
+  feat_config.espf_frequency_threshold = 3;
+  auto featurizer =
+      data::SubstructureFeaturizer::Build(dataset.drugs(), feat_config)
+          .value();
+
+  // Demonstrate the inductive path: re-derive the new drug's hyperedge
+  // from its raw SMILES against the frozen vocabulary, exactly as an
+  // external user would for a molecule we have never featurized.
+  auto new_substructures =
+      featurizer.SegmentNewSmiles(new_record.smiles).value();
+  std::printf("  decomposes into %zu known substructures\n\n",
+              new_substructures.size());
+  auto memberships = featurizer.drug_substructures();
+  memberships[static_cast<size_t>(new_drug)] = new_substructures;
+
+  auto hypergraph = graph::BuildDrugHypergraph(
+      memberships, featurizer.num_substructures());
+  auto context = model::HypergraphContext::FromHypergraph(hypergraph);
+
+  // Train with every pair touching the new drug withheld.
+  core::Rng rng(99);
+  auto pairs = data::BuildBalancedPairs(dataset, &rng);
+  auto cold = data::ColdStartSplit(pairs, {new_drug});
+  std::printf("training on %zu pairs (all %zu pairs of the new drug "
+              "withheld)\n",
+              cold.train.size(), cold.test.size());
+
+  core::Rng model_rng(17);
+  model::HyGnnConfig config;
+  config.encoder.hidden_dim = 64;
+  config.encoder.output_dim = 64;
+  model::HyGnnModel hygnn(featurizer.num_substructures(), config,
+                          &model_rng);
+  model::TrainConfig train_config;
+  train_config.epochs = 150;
+  model::HyGnnTrainer trainer(&hygnn, train_config);
+  trainer.Fit(context, cold.train);
+
+  // Screen the new drug against the entire library.
+  std::vector<data::LabeledPair> screen;
+  for (int32_t candidate = 0; candidate < dataset.num_drugs();
+       ++candidate) {
+    if (candidate == new_drug) continue;
+    screen.push_back({new_drug, candidate, 0.0f});
+  }
+  auto scores = hygnn.PredictProbabilities(context, screen);
+
+  std::vector<size_t> order(screen.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&scores](size_t a, size_t b) { return scores[a] > scores[b]; });
+
+  std::printf("\ntop predicted interaction partners:\n");
+  std::printf("%-10s %-22s %8s %10s\n", "Drug", "Name", "score",
+              "oracle");
+  int correct = 0;
+  const size_t top_k = 10;
+  for (size_t rank = 0; rank < top_k; ++rank) {
+    const auto& pair = screen[order[rank]];
+    const auto& partner = dataset.drugs()[static_cast<size_t>(pair.b)];
+    const bool oracle = dataset.OracleInteracts(pair.a, pair.b);
+    if (oracle) ++correct;
+    std::printf("%-10s %-22s %8.3f %10s\n", partner.drugbank_id.c_str(),
+                partner.name.c_str(), scores[order[rank]],
+                oracle ? "interacts" : "-");
+  }
+  std::printf("\nprecision@%zu against the latent rule: %.2f\n", top_k,
+              static_cast<double>(correct) / top_k);
+  return 0;
+}

@@ -1,0 +1,216 @@
+// hygnn_cli — end-to-end command-line interface over the library,
+// working from CSV files so the whole pipeline can be driven without
+// writing C++.
+//
+//   hygnn_cli generate --drugs 150 --seed 7
+//       --out_drugs drugs.csv --out_pairs pairs.csv
+//   hygnn_cli train   --drugs_csv drugs.csv --pairs_csv pairs.csv
+//       --mode espf --epochs 150 --model model.bin
+//   hygnn_cli evaluate --drugs_csv drugs.csv --pairs_csv pairs.csv
+//       --mode espf --model model.bin
+//   hygnn_cli predict --drugs_csv drugs.csv --mode espf
+//       --model model.bin --a DB00003 --b DB00017
+//
+// Featurization is deterministic, so `train` and the later commands
+// rebuild the identical vocabulary from the drugs CSV; only the weights
+// live in the model file.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/flags.h"
+#include "data/featurize.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "data/pairs.h"
+#include "graph/builders.h"
+#include "hygnn/model.h"
+#include "hygnn/trainer.h"
+
+namespace {
+
+using namespace hygnn;
+
+data::FeaturizeConfig FeatConfigFromFlags(const core::FlagParser& flags) {
+  data::FeaturizeConfig config;
+  const std::string mode = flags.GetString("mode", "espf");
+  if (mode == "kmer") {
+    config.mode = data::SubstructureMode::kKmer;
+  } else if (mode == "strobemer") {
+    config.mode = data::SubstructureMode::kStrobemer;
+  } else {
+    config.mode = data::SubstructureMode::kEspf;
+  }
+  config.espf_frequency_threshold = flags.GetInt("espf_threshold", 3);
+  config.kmer_k = flags.GetInt("kmer_k", 6);
+  return config;
+}
+
+model::HyGnnConfig ModelConfigFromFlags(const core::FlagParser& flags) {
+  model::HyGnnConfig config;
+  const int64_t dim = flags.GetInt("hidden_dim", 64);
+  config.encoder.hidden_dim = dim;
+  config.encoder.output_dim = dim;
+  config.num_layers = static_cast<int32_t>(flags.GetInt("layers", 1));
+  config.decoder = flags.GetString("decoder", "mlp") == "dot"
+                       ? model::DecoderKind::kDot
+                       : model::DecoderKind::kMlp;
+  config.decoder_hidden_dim = dim;
+  return config;
+}
+
+int Fail(const core::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(const core::FlagParser& flags) {
+  data::DatasetConfig config;
+  config.num_drugs = static_cast<int32_t>(flags.GetInt("drugs", 150));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  auto dataset_or = data::GenerateDataset(config);
+  if (!dataset_or.ok()) return Fail(dataset_or.status());
+  const auto& dataset = dataset_or.value();
+
+  core::Rng rng(config.seed ^ 0x1234);
+  auto pairs = data::BuildBalancedPairs(dataset, &rng);
+
+  const std::string drugs_path = flags.GetString("out_drugs", "drugs.csv");
+  const std::string pairs_path = flags.GetString("out_pairs", "pairs.csv");
+  if (auto s = data::WriteDrugsCsv(dataset.drugs(), drugs_path); !s.ok()) {
+    return Fail(s);
+  }
+  if (auto s = data::WritePairsCsv(pairs, pairs_path); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("wrote %d drugs to %s and %zu labeled pairs to %s\n",
+              dataset.num_drugs(), drugs_path.c_str(), pairs.size(),
+              pairs_path.c_str());
+  return 0;
+}
+
+/// Shared loading for train/evaluate/predict.
+struct LoadedCorpus {
+  std::vector<data::DrugRecord> drugs;
+  data::SubstructureFeaturizer featurizer;
+  model::HypergraphContext context;
+};
+
+core::Result<LoadedCorpus> LoadCorpus(const core::FlagParser& flags) {
+  auto drugs_or =
+      data::ReadDrugsCsv(flags.GetString("drugs_csv", "drugs.csv"));
+  if (!drugs_or.ok()) return drugs_or.status();
+  auto featurizer_or = data::SubstructureFeaturizer::Build(
+      drugs_or.value(), FeatConfigFromFlags(flags));
+  if (!featurizer_or.ok()) return featurizer_or.status();
+  auto hypergraph = graph::BuildDrugHypergraph(
+      featurizer_or.value().drug_substructures(),
+      featurizer_or.value().num_substructures());
+  LoadedCorpus corpus{std::move(drugs_or).value(),
+                      std::move(featurizer_or).value(),
+                      model::HypergraphContext::FromHypergraph(hypergraph)};
+  return corpus;
+}
+
+int CmdTrain(const core::FlagParser& flags) {
+  auto corpus_or = LoadCorpus(flags);
+  if (!corpus_or.ok()) return Fail(corpus_or.status());
+  auto& corpus = corpus_or.value();
+  auto pairs_or =
+      data::ReadPairsCsv(flags.GetString("pairs_csv", "pairs.csv"));
+  if (!pairs_or.ok()) return Fail(pairs_or.status());
+
+  core::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  model::HyGnnModel hygnn(corpus.featurizer.num_substructures(),
+                          ModelConfigFromFlags(flags), &rng);
+  model::TrainConfig train_config;
+  train_config.epochs = static_cast<int32_t>(flags.GetInt("epochs", 150));
+  train_config.verbose = true;
+  train_config.log_every = 25;
+  model::HyGnnTrainer trainer(&hygnn, train_config);
+  const float loss = trainer.Fit(corpus.context, pairs_or.value());
+  std::printf("final training loss: %.4f\n", loss);
+
+  const std::string model_path = flags.GetString("model", "model.bin");
+  if (auto s = hygnn.SaveWeights(model_path); !s.ok()) return Fail(s);
+  std::printf("saved model to %s\n", model_path.c_str());
+  return 0;
+}
+
+int CmdEvaluate(const core::FlagParser& flags) {
+  auto corpus_or = LoadCorpus(flags);
+  if (!corpus_or.ok()) return Fail(corpus_or.status());
+  auto& corpus = corpus_or.value();
+  auto pairs_or =
+      data::ReadPairsCsv(flags.GetString("pairs_csv", "pairs.csv"));
+  if (!pairs_or.ok()) return Fail(pairs_or.status());
+
+  core::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  model::HyGnnModel hygnn(corpus.featurizer.num_substructures(),
+                          ModelConfigFromFlags(flags), &rng);
+  if (auto s = hygnn.LoadWeights(flags.GetString("model", "model.bin"));
+      !s.ok()) {
+    return Fail(s);
+  }
+  auto scores = hygnn.PredictProbabilities(corpus.context, pairs_or.value());
+  auto result =
+      model::EvaluateScores(scores, model::LabelsOf(pairs_or.value()));
+  std::printf("F1 %.3f  ROC-AUC %.3f  PR-AUC %.3f  (%zu pairs)\n",
+              result.f1, result.roc_auc, result.pr_auc,
+              pairs_or.value().size());
+  return 0;
+}
+
+int CmdPredict(const core::FlagParser& flags) {
+  auto corpus_or = LoadCorpus(flags);
+  if (!corpus_or.ok()) return Fail(corpus_or.status());
+  auto& corpus = corpus_or.value();
+
+  auto find_drug = [&corpus](const std::string& id) -> int32_t {
+    for (const auto& drug : corpus.drugs) {
+      if (drug.drugbank_id == id || drug.name == id) return drug.index;
+    }
+    return -1;
+  };
+  const int32_t a = find_drug(flags.GetString("a", ""));
+  const int32_t b = find_drug(flags.GetString("b", ""));
+  if (a < 0 || b < 0) {
+    std::fprintf(stderr, "error: --a/--b must name drugs from the CSV\n");
+    return 1;
+  }
+
+  core::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  model::HyGnnModel hygnn(corpus.featurizer.num_substructures(),
+                          ModelConfigFromFlags(flags), &rng);
+  if (auto s = hygnn.LoadWeights(flags.GetString("model", "model.bin"));
+      !s.ok()) {
+    return Fail(s);
+  }
+  std::vector<data::LabeledPair> query{{a, b, 0.0f}};
+  auto scores = hygnn.PredictProbabilities(corpus.context, query);
+  std::printf("%s + %s -> interaction probability %.4f\n",
+              corpus.drugs[static_cast<size_t>(a)].drugbank_id.c_str(),
+              corpus.drugs[static_cast<size_t>(b)].drugbank_id.c_str(),
+              scores[0]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::FlagParser flags;
+  if (!flags.Parse(argc, argv).ok() || flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: hygnn_cli <generate|train|evaluate|predict> "
+                 "[flags]\n");
+    return 1;
+  }
+  const std::string& command = flags.positional()[0];
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "predict") return CmdPredict(flags);
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 1;
+}

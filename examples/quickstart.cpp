@@ -1,0 +1,95 @@
+// Quickstart: the whole HyGNN pipeline in ~80 lines.
+//
+//   1. Generate a synthetic DrugBank-like corpus (drugs with SMILES and
+//      known DDIs).
+//   2. Mine frequent substructures from the SMILES with ESPF.
+//   3. Build the drug hypergraph (substructures = nodes, drugs =
+//      hyperedges).
+//   4. Train HyGNN (hypergraph edge encoder + MLP decoder).
+//   5. Evaluate on held-out pairs and score a few individual pairs.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "data/featurize.h"
+#include "data/generator.h"
+#include "data/pairs.h"
+#include "graph/builders.h"
+#include "hygnn/model.h"
+#include "hygnn/trainer.h"
+
+int main() {
+  using namespace hygnn;
+
+  // 1. Synthetic corpus: 120 drugs assembled from functional-group
+  //    fragments; DDIs follow a latent reactive-pair rule.
+  data::DatasetConfig data_config;
+  data_config.num_drugs = 120;
+  data_config.seed = 2024;
+  auto dataset = data::GenerateDataset(data_config).value();
+  std::printf("corpus: %d drugs, %zu known DDIs\n", dataset.num_drugs(),
+              dataset.positives().size());
+  std::printf("example drug %s (%s): %s\n",
+              dataset.drugs()[0].drugbank_id.c_str(),
+              dataset.drugs()[0].name.c_str(),
+              dataset.drugs()[0].smiles.c_str());
+
+  // 2. ESPF substructure mining (threshold 3 for this small corpus; the
+  //    paper uses 5 on full DrugBank).
+  data::FeaturizeConfig feat_config;
+  feat_config.mode = data::SubstructureMode::kEspf;
+  feat_config.espf_frequency_threshold = 3;
+  auto featurizer =
+      data::SubstructureFeaturizer::Build(dataset.drugs(), feat_config)
+          .value();
+  std::printf("ESPF vocabulary: %d substructures\n",
+              featurizer.num_substructures());
+
+  // 3. Drug hypergraph: each drug is a hyperedge over its substructures.
+  auto hypergraph = graph::BuildDrugHypergraph(
+      featurizer.drug_substructures(), featurizer.num_substructures());
+  std::printf("hypergraph: %d nodes, %d hyperedges, %lld incidences\n",
+              hypergraph.num_nodes(), hypergraph.num_edges(),
+              static_cast<long long>(hypergraph.num_incidences()));
+  auto context = model::HypergraphContext::FromHypergraph(hypergraph);
+
+  // Balanced positive/negative pairs, 70/30 split (paper protocol).
+  core::Rng rng(7);
+  auto pairs = data::BuildBalancedPairs(dataset, &rng);
+  auto split = data::RandomSplit(pairs, 0.7, &rng);
+
+  // 4. HyGNN: single-layer hypergraph edge encoder with two attention
+  //    levels + MLP decoder, Adam at lr 0.01 (paper settings).
+  core::Rng model_rng(13);
+  model::HyGnnConfig config;
+  config.encoder.hidden_dim = 64;
+  config.encoder.output_dim = 64;
+  config.decoder = model::DecoderKind::kMlp;
+  model::HyGnnModel hygnn(featurizer.num_substructures(), config,
+                          &model_rng);
+  model::TrainConfig train_config;
+  train_config.epochs = 150;
+  train_config.verbose = true;
+  train_config.log_every = 50;
+  model::HyGnnTrainer trainer(&hygnn, train_config);
+  std::printf("training on %zu pairs...\n", split.train.size());
+  trainer.Fit(context, split.train);
+
+  // 5. Held-out evaluation + a few individual predictions.
+  auto metrics = trainer.Evaluate(context, split.test);
+  std::printf("test: F1 %.3f  ROC-AUC %.3f  PR-AUC %.3f\n", metrics.f1,
+              metrics.roc_auc, metrics.pr_auc);
+
+  std::vector<data::LabeledPair> queries(split.test.begin(),
+                                         split.test.begin() + 5);
+  auto scores = hygnn.PredictProbabilities(context, queries);
+  std::printf("\nsample predictions:\n");
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::printf("  %s + %s -> %.3f (label %d)\n",
+                dataset.drugs()[queries[i].a].drugbank_id.c_str(),
+                dataset.drugs()[queries[i].b].drugbank_id.c_str(),
+                scores[i], static_cast<int>(queries[i].label));
+  }
+  return 0;
+}

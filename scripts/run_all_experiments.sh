@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper plus the ablations and
+# the typed extension, writing the combined log to bench_output.txt.
+#
+# Defaults are laptop scale; pass paper-scale flags through, e.g.
+#   scripts/run_all_experiments.sh --drugs 824 --epochs 600 --runs 5
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure | tee test_output.txt
+
+{
+  for b in build/bench/bench_*; do
+    [ -x "$b" ] || continue
+    echo "===== $b ====="
+    "$b" "$@"
+  done
+} 2>&1 | tee bench_output.txt

@@ -1,0 +1,104 @@
+#ifndef HYGNN_BASELINES_BASELINES_H_
+#define HYGNN_BASELINES_BASELINES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/drug.h"
+#include "data/generator.h"
+#include "hygnn/trainer.h"
+
+namespace hygnn::baselines {
+
+/// Everything a baseline needs for one train/evaluate run. The
+/// substructure view is shared so every substructure-based method sees
+/// identical featurization.
+struct BaselineInputs {
+  int32_t num_drugs = 0;
+  /// Full drug records (SMILES) — required only by the
+  /// molecular-similarity baseline.
+  const std::vector<data::DrugRecord>* drugs = nullptr;
+  /// ESPF substructure-id sets per drug (baseline groups 3 and 4 use
+  /// ESPF per the paper).
+  const std::vector<std::vector<int32_t>>* drug_substructures = nullptr;
+  int32_t num_substructures = 0;
+  std::vector<data::LabeledPair> train;
+  std::vector<data::LabeledPair> test;
+  uint64_t seed = 1;
+};
+
+/// GNN architecture selector for baseline groups 1 and 3.
+enum class GnnKind { kGcn, kSage, kGat };
+
+/// Random-walk embedding selector for baseline group 2.
+enum class RweKind { kDeepWalk, kNode2Vec };
+
+/// Classical classifier selector for baseline group 4.
+enum class MlKind { kNn, kLr, kKnn };
+
+/// Hyperparameters shared across baseline families. GNNs are 2-layer
+/// (paper §IV-C); walk settings follow the paper (length 100, 10 walks,
+/// window 5) but are scaled down by default for the synthetic corpus.
+struct BaselineConfig {
+  int64_t embedding_dim = 64;
+  int64_t classifier_hidden_dim = 64;
+  int32_t epochs = 120;
+  float learning_rate = 0.01f;
+  int32_t gat_heads = 2;
+  /// SSG edge rule: minimum shared substructures (Bumgardner et al.).
+  int64_t ssg_min_common = 2;
+  /// Random-walk parameters (group 2).
+  int32_t walk_length = 40;
+  int32_t num_walks_per_node = 10;
+  int32_t sgns_window = 5;
+  int32_t sgns_epochs = 2;
+  double node2vec_p = 1.0;
+  double node2vec_q = 0.5;
+  /// kNN neighbourhood size (group 4).
+  int32_t knn_k = 5;
+  /// Morgan fingerprint parameters (molecular-similarity baseline).
+  int32_t fingerprint_radius = 2;
+  int32_t fingerprint_bits = 1024;
+};
+
+/// Group 1 — GNN on the DDI graph: drugs are nodes, training-fold
+/// positive DDIs are edges, node features are a learnable embedding
+/// table; a 2-layer GNN plus an MLP pair head is trained end-to-end.
+model::EvalResult RunGnnOnDdiGraph(const BaselineInputs& inputs,
+                                   GnnKind kind,
+                                   const BaselineConfig& config);
+
+/// Group 2 — random-walk embedding on the DDI graph: DeepWalk/node2vec
+/// embeddings (unsupervised, frozen) + MLP pair classifier.
+model::EvalResult RunRweOnDdiGraph(const BaselineInputs& inputs,
+                                   RweKind kind,
+                                   const BaselineConfig& config);
+
+/// Group 3 — GNN on the substructure-similarity graph: drugs sharing at
+/// least `ssg_min_common` ESPF substructures are linked; node features
+/// are the drugs' binary functional representations.
+model::EvalResult RunGnnOnSsg(const BaselineInputs& inputs, GnnKind kind,
+                              const BaselineConfig& config);
+
+/// Group 4 — classical ML on functional representations: pair feature
+/// is the bitwise AND of the two drugs' substructure indicator vectors
+/// (CASTER-style), classified by NN / LR / kNN.
+model::EvalResult RunMlOnFunctionalRepresentation(
+    const BaselineInputs& inputs, MlKind kind, const BaselineConfig& config);
+
+/// Extra baseline beyond the paper's Table I: Vilar et al.'s molecular
+/// structure similarity (paper §II) — score(a, b) is the best Tanimoto
+/// similarity between one drug's Morgan fingerprint and the other
+/// drug's known training interactors.
+model::EvalResult RunMolecularSimilarity(const BaselineInputs& inputs,
+                                         const BaselineConfig& config);
+
+/// Human-readable names matching the paper's Table I rows.
+std::string GnnKindName(GnnKind kind);
+std::string RweKindName(RweKind kind);
+std::string MlKindName(MlKind kind);
+
+}  // namespace hygnn::baselines
+
+#endif  // HYGNN_BASELINES_BASELINES_H_

@@ -1,0 +1,52 @@
+#include "baselines/baselines.h"
+#include "baselines/pair_harness.h"
+#include "core/logging.h"
+#include "data/pairs.h"
+#include "embedding/walk_embedding.h"
+#include "graph/builders.h"
+
+namespace hygnn::baselines {
+
+model::EvalResult RunRweOnDdiGraph(const BaselineInputs& inputs,
+                                   RweKind kind,
+                                   const BaselineConfig& config) {
+  core::Rng rng(inputs.seed ^ 0x5bd1e995);
+  graph::Graph ddi_graph = graph::BuildDdiGraph(
+      inputs.num_drugs, data::PositivePairs(inputs.train));
+
+  embedding::WalkEmbeddingConfig walk_config;
+  walk_config.walk.walk_length = config.walk_length;
+  walk_config.walk.num_walks_per_node = config.num_walks_per_node;
+  walk_config.walk.p = config.node2vec_p;
+  walk_config.walk.q = config.node2vec_q;
+  walk_config.sgns.dimension = config.embedding_dim;
+  walk_config.sgns.window_size = config.sgns_window;
+  walk_config.sgns.epochs = config.sgns_epochs;
+
+  std::vector<std::vector<float>> embeddings =
+      kind == RweKind::kDeepWalk
+          ? embedding::DeepWalkEmbeddings(ddi_graph, walk_config, &rng)
+          : embedding::Node2VecEmbeddings(ddi_graph, walk_config, &rng);
+
+  // Frozen embeddings: only the MLP pair head trains.
+  tensor::Tensor embedding_tensor = EmbeddingsToTensor(embeddings);
+  auto embed_fn = [embedding_tensor](bool /*training*/,
+                                     core::Rng* /*rng*/) {
+    return embedding_tensor;
+  };
+  PairModelHarness harness(embed_fn, /*embed_params=*/{},
+                           config.embedding_dim, config, rng.Next());
+  return harness.FitAndEvaluate(inputs.train, inputs.test);
+}
+
+std::string RweKindName(RweKind kind) {
+  switch (kind) {
+    case RweKind::kDeepWalk:
+      return "DeepWalk";
+    case RweKind::kNode2Vec:
+      return "Node2Vec";
+  }
+  return "?";
+}
+
+}  // namespace hygnn::baselines

@@ -1,0 +1,88 @@
+#include "chem/fingerprint.h"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "core/logging.h"
+
+namespace hygnn::chem {
+
+namespace {
+
+uint64_t MixHash(uint64_t h, uint64_t value) {
+  h ^= value + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t InitialInvariant(const MolecularGraph& molecule, int32_t atom) {
+  const Atom& a = molecule.atom(atom);
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : a.element) h = MixHash(h, static_cast<uint64_t>(c));
+  h = MixHash(h, a.aromatic ? 1 : 0);
+  h = MixHash(h, static_cast<uint64_t>(a.charge + 16));
+  h = MixHash(h, static_cast<uint64_t>(molecule.Degree(atom)));
+  return h;
+}
+
+}  // namespace
+
+ml::BitVector MorganFingerprint(const MolecularGraph& molecule,
+                                const FingerprintConfig& config) {
+  HYGNN_CHECK_GT(config.num_bits, 0);
+  HYGNN_CHECK_GE(config.radius, 0);
+  ml::BitVector bits(config.num_bits);
+  if (molecule.num_atoms() == 0) return bits;
+
+  std::vector<uint64_t> invariants(
+      static_cast<size_t>(molecule.num_atoms()));
+  for (int32_t atom = 0; atom < molecule.num_atoms(); ++atom) {
+    invariants[static_cast<size_t>(atom)] =
+        InitialInvariant(molecule, atom);
+    bits.SetBit(static_cast<int32_t>(invariants[static_cast<size_t>(atom)] %
+                                     static_cast<uint64_t>(config.num_bits)));
+  }
+
+  for (int32_t round = 0; round < config.radius; ++round) {
+    std::vector<uint64_t> next(invariants.size());
+    for (int32_t atom = 0; atom < molecule.num_atoms(); ++atom) {
+      // Collect (bond order, neighbor invariant) pairs; sort for
+      // neighbor-order invariance.
+      std::vector<std::pair<uint64_t, uint64_t>> neighborhood;
+      for (int32_t bond_index : molecule.IncidentBonds(atom)) {
+        const Bond& bond = molecule.bond(bond_index);
+        const int32_t other = molecule.OtherEnd(bond_index, atom);
+        const uint64_t order_key =
+            bond.aromatic ? 4 : static_cast<uint64_t>(bond.order);
+        neighborhood.emplace_back(order_key,
+                                  invariants[static_cast<size_t>(other)]);
+      }
+      std::sort(neighborhood.begin(), neighborhood.end());
+      uint64_t h = MixHash(0x2545F4914F6CDD1DULL,
+                           invariants[static_cast<size_t>(atom)]);
+      h = MixHash(h, static_cast<uint64_t>(round + 1));
+      for (const auto& [order, inv] : neighborhood) {
+        h = MixHash(h, order);
+        h = MixHash(h, inv);
+      }
+      next[static_cast<size_t>(atom)] = h;
+      bits.SetBit(static_cast<int32_t>(
+          h % static_cast<uint64_t>(config.num_bits)));
+    }
+    invariants = std::move(next);
+  }
+  return bits;
+}
+
+core::Result<ml::BitVector> MorganFingerprintFromSmiles(
+    const std::string& smiles, const FingerprintConfig& config) {
+  auto molecule_or = MolecularGraph::FromSmiles(smiles);
+  if (!molecule_or.ok()) return molecule_or.status();
+  return MorganFingerprint(molecule_or.value(), config);
+}
+
+double TanimotoSimilarity(const ml::BitVector& a, const ml::BitVector& b) {
+  return a.Jaccard(b);
+}
+
+}  // namespace hygnn::chem

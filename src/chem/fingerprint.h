@@ -1,0 +1,39 @@
+#ifndef HYGNN_CHEM_FINGERPRINT_H_
+#define HYGNN_CHEM_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "chem/molgraph.h"
+#include "core/status.h"
+#include "ml/bitvector.h"
+
+namespace hygnn::chem {
+
+/// Morgan / ECFP-style circular fingerprint parameters. ECFP4
+/// corresponds to radius = 2.
+struct FingerprintConfig {
+  int32_t radius = 2;
+  int32_t num_bits = 1024;
+};
+
+/// Computes a Morgan (extended-connectivity) fingerprint of a molecular
+/// graph: each atom starts from an invariant of (element, aromaticity,
+/// charge, degree); `radius` rounds of neighborhood hashing generate
+/// circular-substructure identifiers which are folded into a fixed-size
+/// bit vector. This is the "molecular fingerprint" of Vilar et al.'s
+/// similarity-based DDI baseline (paper §II).
+ml::BitVector MorganFingerprint(const MolecularGraph& molecule,
+                                const FingerprintConfig& config = {});
+
+/// Convenience: parse + fingerprint in one call.
+core::Result<ml::BitVector> MorganFingerprintFromSmiles(
+    const std::string& smiles, const FingerprintConfig& config = {});
+
+/// Tanimoto similarity |a&b| / |a|b| of two fingerprints (equals
+/// BitVector::Jaccard; named per the cheminformatics convention).
+double TanimotoSimilarity(const ml::BitVector& a, const ml::BitVector& b);
+
+}  // namespace hygnn::chem
+
+#endif  // HYGNN_CHEM_FINGERPRINT_H_

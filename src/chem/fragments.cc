@@ -1,0 +1,117 @@
+#include "chem/fragments.h"
+
+namespace hygnn::chem {
+
+namespace {
+
+std::vector<Fragment> BuildLibrary() {
+  // reactive_class groups fragments into chemical families; the data
+  // generator's latent rule interacts *classes*, so two different
+  // fragments of the same class are interchangeable evidence — this is
+  // what lets substructure-based models generalize across drugs that
+  // carry different members of the same family. The class space is kept
+  // deliberately wide (~19 classes) so that topology-only models cannot
+  // trivially enumerate class profiles from a handful of edges.
+  return {
+      // --- reactive functional groups ---
+      {"carboxyl", "C(=O)O", 0, false},
+      {"ester", "C(=O)OC", 0, false},
+      {"ethyl_ester", "C(=O)OCC", 0, false},
+      {"amide", "C(=O)N", 1, false},
+      {"amine", "N(C)C", 1, false},
+      {"guanidine", "NC(N)=N", 1, false},
+      {"dimethylamide", "C(=O)N(C)C", 1, false},
+      {"phenyl", "c1ccccc1", 2, false},
+      {"pyridine", "c1ccncc1", 2, false},
+      {"imidazole", "c1cnc[nH]1", 2, false},
+      {"furan", "c1ccoc1", 3, false},
+      {"thiophene", "c1ccsc1", 3, false},
+      {"pyrrole", "c1cc[nH]c1", 3, false},
+      {"sulfonamide", "S(=O)(=O)N", 4, false},
+      {"sulfonyl", "S(=O)(=O)C", 4, false},
+      {"sulfonic_acid", "S(=O)(=O)O", 4, true},
+      {"nitro", "[N+](=O)[O-]", 5, true},
+      {"nitrile", "C#N", 5, true},
+      {"trifluoromethyl", "C(F)(F)F", 6, true},
+      {"chloro", "Cl", 6, true},
+      {"bromo", "Br", 6, true},
+      {"fluoro", "F", 6, true},
+      {"iodo", "I", 6, true},
+      {"phosphate", "OP(=O)(O)O", 7, true},
+      {"phosphonate", "P(=O)(O)O", 7, true},
+      {"ketone", "C(=O)C", 8, false},
+      {"alkene", "C=C", 8, false},
+      {"alkyne", "C#C", 8, false},
+      {"cyclohexyl", "C1CCCCC1", 9, false},
+      {"piperidine", "N1CCCCC1", 9, false},
+      {"morpholine", "N1CCOCC1", 9, false},
+      {"piperazine_like", "C1CCNCC1", 9, false},
+      {"oxolane", "C1CCOC1", 9, false},
+      {"hydroxyl", "O", 10, true},
+      {"thioether", "SC", 11, false},
+      {"thiol", "S", 11, true},
+      {"urea", "NC(=O)N", 12, false},
+      {"carbamate", "OC(=O)N", 12, false},
+      {"cresyl", "c1ccc(C)cc1", 13, false},
+      {"phenol", "c1ccc(O)cc1", 13, false},
+      {"aniline", "c1ccc(N)cc1", 13, false},
+      {"spiro_ether", "C1COC2(CCCCC2)O1", 14, false},
+      {"spiro_carbocycle", "C1CCC2(CCCC2)CC1", 14, false},
+      {"amidine", "C(=N)N", 15, false},
+      {"azide", "N=[N+]=[N-]", 16, true},
+      {"benzonitrile", "c1ccc(C#N)cc1", 17, false},
+      {"benzamide", "c1ccc(C(=O)N)cc1", 17, false},
+      {"acetal", "C(OC)OC", 18, false},
+      {"methylenedioxy", "C1OC2(O1)CCCC2", 18, false},
+      // --- inert fillers ---
+      {"methyl", "C", -1, false},
+      {"ethyl", "CC", -1, false},
+      {"propyl", "CCC", -1, false},
+      {"butyl", "CCCC", -1, false},
+      {"methoxy", "CO", -1, false},
+      {"aminomethyl", "CN", -1, false},
+      {"isopropyl", "C(C)C", -1, false},
+      {"ethanol_tail", "CCO", -1, false},
+      {"oxyethyl", "OCC", -1, false},
+      {"tert_butyl", "C(C)(C)C", -1, false},
+  };
+}
+
+}  // namespace
+
+const std::vector<Fragment>& StandardFragmentLibrary() {
+  static const auto& library = *new std::vector<Fragment>(BuildLibrary());
+  return library;
+}
+
+std::vector<int32_t> FunctionalGroupIndices() {
+  std::vector<int32_t> indices;
+  const auto& lib = StandardFragmentLibrary();
+  for (size_t i = 0; i < lib.size(); ++i) {
+    if (lib[i].reactive_class >= 0) {
+      indices.push_back(static_cast<int32_t>(i));
+    }
+  }
+  return indices;
+}
+
+std::vector<int32_t> FillerIndices() {
+  std::vector<int32_t> indices;
+  const auto& lib = StandardFragmentLibrary();
+  for (size_t i = 0; i < lib.size(); ++i) {
+    if (lib[i].reactive_class < 0) {
+      indices.push_back(static_cast<int32_t>(i));
+    }
+  }
+  return indices;
+}
+
+int32_t NumReactiveClasses() {
+  int32_t max_class = -1;
+  for (const auto& fragment : StandardFragmentLibrary()) {
+    max_class = std::max(max_class, fragment.reactive_class);
+  }
+  return max_class + 1;
+}
+
+}  // namespace hygnn::chem

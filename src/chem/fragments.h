@@ -1,0 +1,41 @@
+#ifndef HYGNN_CHEM_FRAGMENTS_H_
+#define HYGNN_CHEM_FRAGMENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hygnn::chem {
+
+/// A chemical fragment used by the synthetic drug generator. Fragments
+/// are syntactically self-contained SMILES snippets (all rings closed)
+/// that can be concatenated into a chain or wrapped as a branch.
+struct Fragment {
+  std::string name;    // e.g. "carboxyl"
+  std::string smiles;  // e.g. "C(=O)O"
+  /// Functional-group family used by the latent DDI ground-truth rule.
+  /// -1 marks inert filler that never participates in interactions.
+  int32_t reactive_class = -1;
+  /// True when the fragment must terminate a chain (e.g. halogens);
+  /// such fragments are attached as branches or placed last.
+  bool terminal_only = false;
+};
+
+/// The built-in functional-group library: ~24 named functional groups
+/// spanning the reactive classes plus inert fillers. Every snippet
+/// passes `ValidateSmiles`, alone and in generated compositions.
+const std::vector<Fragment>& StandardFragmentLibrary();
+
+/// Indices into StandardFragmentLibrary() of functional groups
+/// (reactive_class >= 0).
+std::vector<int32_t> FunctionalGroupIndices();
+
+/// Indices of inert filler fragments (reactive_class == -1).
+std::vector<int32_t> FillerIndices();
+
+/// Number of distinct reactive classes in the standard library.
+int32_t NumReactiveClasses();
+
+}  // namespace hygnn::chem
+
+#endif  // HYGNN_CHEM_FRAGMENTS_H_

@@ -1,0 +1,65 @@
+#include "chem/generator.h"
+
+#include "chem/smiles.h"
+#include "core/logging.h"
+
+namespace hygnn::chem {
+
+using core::Result;
+using core::Status;
+
+SmilesGenerator::SmilesGenerator(std::vector<Fragment> library)
+    : library_(library.empty() ? StandardFragmentLibrary()
+                               : std::move(library)) {
+  for (size_t i = 0; i < library_.size(); ++i) {
+    if (library_[i].reactive_class < 0) {
+      filler_indices_.push_back(static_cast<int32_t>(i));
+    }
+  }
+  HYGNN_CHECK(!filler_indices_.empty());
+}
+
+Result<std::string> SmilesGenerator::Generate(
+    const std::vector<int32_t>& fragment_indices, int32_t filler_count,
+    core::Rng* rng) const {
+  HYGNN_CHECK(rng != nullptr);
+  for (int32_t idx : fragment_indices) {
+    if (idx < 0 || idx >= static_cast<int32_t>(library_.size())) {
+      return Status::InvalidArgument("fragment index out of range: " +
+                                     std::to_string(idx));
+    }
+  }
+  // Collect the pieces: requested groups + random filler, shuffled.
+  std::vector<int32_t> pieces = fragment_indices;
+  for (int32_t i = 0; i < filler_count; ++i) {
+    pieces.push_back(
+        filler_indices_[rng->UniformInt(filler_indices_.size())]);
+  }
+  rng->Shuffle(pieces);
+
+  // The chain always opens with a plain carbon so that the first branch
+  // or bond has an atom to attach to.
+  std::string smiles = "C";
+  for (int32_t idx : pieces) {
+    const Fragment& fragment = library_[static_cast<size_t>(idx)];
+    if (fragment.terminal_only) {
+      // Terminal fragments would leave a dangling chain if placed
+      // inline, so attach them as a branch off the current chain end.
+      smiles += "(" + fragment.smiles + ")";
+    } else if (rng->Bernoulli(0.3)) {
+      // Occasionally attach non-terminal groups as branches too, for
+      // structural variety.
+      smiles += "(" + fragment.smiles + ")";
+    } else {
+      smiles += fragment.smiles;
+    }
+  }
+  Status valid = ValidateSmiles(smiles);
+  if (!valid.ok()) {
+    return Status::Internal("generator produced invalid SMILES '" + smiles +
+                            "': " + valid.message());
+  }
+  return smiles;
+}
+
+}  // namespace hygnn::chem

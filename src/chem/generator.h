@@ -1,0 +1,41 @@
+#ifndef HYGNN_CHEM_GENERATOR_H_
+#define HYGNN_CHEM_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chem/fragments.h"
+#include "core/rng.h"
+#include "core/status.h"
+
+namespace hygnn::chem {
+
+/// Assembles syntactically valid SMILES strings from fragments. This is
+/// the synthetic stand-in for DrugBank molecules: every generated string
+/// passes `ValidateSmiles`, contains exactly the requested functional
+/// groups plus random inert filler, and therefore carries the structural
+/// signal the latent DDI rule is defined on.
+class SmilesGenerator {
+ public:
+  /// Uses `library` (defaults to the standard library when empty).
+  explicit SmilesGenerator(std::vector<Fragment> library = {});
+
+  /// Generates one SMILES containing every fragment in
+  /// `fragment_indices` (indices into the library), interleaved with
+  /// `filler_count` random inert fragments. Terminal-only fragments are
+  /// attached as branches. Order is randomized via `rng`.
+  core::Result<std::string> Generate(
+      const std::vector<int32_t>& fragment_indices, int32_t filler_count,
+      core::Rng* rng) const;
+
+  const std::vector<Fragment>& library() const { return library_; }
+
+ private:
+  std::vector<Fragment> library_;
+  std::vector<int32_t> filler_indices_;
+};
+
+}  // namespace hygnn::chem
+
+#endif  // HYGNN_CHEM_GENERATOR_H_

@@ -1,0 +1,40 @@
+#include "chem/kmer.h"
+
+#include <unordered_set>
+
+namespace hygnn::chem {
+
+using core::Result;
+using core::Status;
+
+Result<std::vector<std::string>> ExtractKmers(const std::string& smiles,
+                                              int64_t k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (smiles.empty()) return Status::InvalidArgument("empty SMILES string");
+  std::vector<std::string> kmers;
+  const int64_t l = static_cast<int64_t>(smiles.size());
+  if (l < k) {
+    kmers.push_back(smiles);
+    return kmers;
+  }
+  kmers.reserve(static_cast<size_t>(l - k + 1));
+  for (int64_t i = 0; i + k <= l; ++i) {
+    kmers.push_back(smiles.substr(static_cast<size_t>(i),
+                                  static_cast<size_t>(k)));
+  }
+  return kmers;
+}
+
+Result<std::vector<std::string>> ExtractUniqueKmers(const std::string& smiles,
+                                                    int64_t k) {
+  auto kmers_or = ExtractKmers(smiles, k);
+  if (!kmers_or.ok()) return kmers_or.status();
+  std::vector<std::string> unique;
+  std::unordered_set<std::string> seen;
+  for (auto& kmer : kmers_or.value()) {
+    if (seen.insert(kmer).second) unique.push_back(kmer);
+  }
+  return unique;
+}
+
+}  // namespace hygnn::chem

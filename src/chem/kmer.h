@@ -1,0 +1,25 @@
+#ifndef HYGNN_CHEM_KMER_H_
+#define HYGNN_CHEM_KMER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace hygnn::chem {
+
+/// Extracts all character-level k-mers of a SMILES string, in order.
+/// For a sequence of length l there are l-k+1 k-mers (paper §III-B:
+/// "NCCO" with k=2 -> {NC, CC, CO}). Strings shorter than k yield the
+/// whole string as a single unit so no drug decomposes to nothing.
+core::Result<std::vector<std::string>> ExtractKmers(const std::string& smiles,
+                                                    int64_t k);
+
+/// Distinct k-mers of `smiles`, preserving first-occurrence order.
+core::Result<std::vector<std::string>> ExtractUniqueKmers(
+    const std::string& smiles, int64_t k);
+
+}  // namespace hygnn::chem
+
+#endif  // HYGNN_CHEM_KMER_H_

@@ -1,0 +1,42 @@
+#ifndef HYGNN_CORE_FLAGS_H_
+#define HYGNN_CORE_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace hygnn::core {
+
+/// Minimal command-line flag parser for the bench/example binaries.
+/// Accepts `--name value` and `--name=value`; anything else is a
+/// positional argument.
+class FlagParser {
+ public:
+  /// Parses argv. Returns InvalidArgument on a trailing `--name` with no
+  /// value.
+  Status Parse(int argc, const char* const* argv);
+
+  /// True when `--name` appeared on the command line.
+  bool Has(const std::string& name) const;
+
+  /// Typed getters returning `fallback` when the flag is absent.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  /// Arguments that did not look like flags, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hygnn::core
+
+#endif  // HYGNN_CORE_FLAGS_H_

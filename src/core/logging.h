@@ -1,0 +1,81 @@
+#ifndef HYGNN_CORE_LOGGING_H_
+#define HYGNN_CORE_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hygnn::core {
+
+/// Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is emitted. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits on destruction when the message severity
+/// passes the global filter. Not for direct use — use the HYGNN_LOG /
+/// HYGNN_CHECK macros.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction. Used by CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace hygnn::core
+
+/// Usage: HYGNN_LOG(Info) << "message" << value;
+/// Severity filtering happens at emit time (LogMessage destructor).
+#define HYGNN_LOG(level)                              \
+  ::hygnn::core::internal_logging::LogMessage(        \
+      ::hygnn::core::LogLevel::k##level, __FILE__,    \
+      __LINE__)                                       \
+      .stream()
+
+/// Aborts with a message when `condition` is false. Programmer-error
+/// guard; recoverable errors go through core::Status instead.
+#define HYGNN_CHECK(condition)                                          \
+  if (!(condition))                                                     \
+  ::hygnn::core::internal_logging::FatalLogMessage(__FILE__, __LINE__)  \
+          .stream()                                                     \
+      << "Check failed: " #condition " "
+
+#define HYGNN_CHECK_EQ(a, b) HYGNN_CHECK((a) == (b))
+#define HYGNN_CHECK_NE(a, b) HYGNN_CHECK((a) != (b))
+#define HYGNN_CHECK_LT(a, b) HYGNN_CHECK((a) < (b))
+#define HYGNN_CHECK_LE(a, b) HYGNN_CHECK((a) <= (b))
+#define HYGNN_CHECK_GT(a, b) HYGNN_CHECK((a) > (b))
+#define HYGNN_CHECK_GE(a, b) HYGNN_CHECK((a) >= (b))
+
+#endif  // HYGNN_CORE_LOGGING_H_

@@ -1,0 +1,97 @@
+#ifndef HYGNN_CORE_STATUS_H_
+#define HYGNN_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hygnn::core {
+
+/// Error categories used across the library. Follows the RocksDB-style
+/// convention: recoverable failures are reported through `Status` /
+/// `Result<T>` return values rather than exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+};
+
+/// Returns a short human-readable name for a status code ("Ok",
+/// "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success/error value. Cheap to copy on the success path
+/// (no allocation); error path stores a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error return type. Use `ok()` to test, `value()` to access
+/// (valid only when `ok()`), `status()` for the error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (error).
+  Result(Status status) : data_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  /// Returns the error status, or OK when this result holds a value.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace hygnn::core
+
+#endif  // HYGNN_CORE_STATUS_H_

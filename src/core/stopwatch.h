@@ -1,0 +1,31 @@
+#ifndef HYGNN_CORE_STOPWATCH_H_
+#define HYGNN_CORE_STOPWATCH_H_
+
+#include <chrono>
+
+namespace hygnn::core {
+
+/// Wall-clock stopwatch used by training loops and bench harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hygnn::core
+
+#endif  // HYGNN_CORE_STOPWATCH_H_

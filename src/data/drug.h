@@ -1,0 +1,50 @@
+#ifndef HYGNN_DATA_DRUG_H_
+#define HYGNN_DATA_DRUG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hygnn::data {
+
+/// One synthetic drug: the SMILES string is what models see; the
+/// fragment/reactive-class lists are the generator's latent ground truth
+/// (used only by the oracle and never exposed to models).
+struct DrugRecord {
+  int32_t index = 0;            // dense id in [0, num_drugs)
+  std::string drugbank_id;      // "DB00001"-style accession
+  std::string name;             // pronounceable synthetic name
+  std::string smiles;           // valid SMILES (see chem::ValidateSmiles)
+  std::vector<int32_t> fragment_ids;      // library indices (latent)
+  std::vector<int32_t> reactive_classes;  // deduplicated classes (latent)
+};
+
+/// An unordered drug pair, stored with a < b.
+struct DrugPair {
+  int32_t a = 0;
+  int32_t b = 0;
+
+  bool operator==(const DrugPair& other) const {
+    return a == other.a && b == other.b;
+  }
+  bool operator<(const DrugPair& other) const {
+    if (a != other.a) return a < other.a;
+    return b < other.b;
+  }
+};
+
+/// Canonicalizes pair order (a < b).
+inline DrugPair MakePair(int32_t x, int32_t y) {
+  return x < y ? DrugPair{x, y} : DrugPair{y, x};
+}
+
+/// A drug pair with a binary interaction label.
+struct LabeledPair {
+  int32_t a = 0;
+  int32_t b = 0;
+  float label = 0.0f;  // 1 = interacts
+};
+
+}  // namespace hygnn::data
+
+#endif  // HYGNN_DATA_DRUG_H_

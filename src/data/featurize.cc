@@ -1,0 +1,90 @@
+#include "data/featurize.h"
+
+#include <unordered_set>
+
+#include "chem/canonical.h"
+#include "chem/kmer.h"
+#include "core/logging.h"
+
+namespace hygnn::data {
+
+using core::Result;
+using core::Status;
+
+Result<SubstructureFeaturizer> SubstructureFeaturizer::Build(
+    const std::vector<DrugRecord>& drugs, const FeaturizeConfig& config) {
+  if (drugs.empty()) {
+    return Status::InvalidArgument("no drugs to featurize");
+  }
+  SubstructureFeaturizer featurizer;
+  featurizer.config_ = config;
+
+  if (config.mode == SubstructureMode::kEspf) {
+    std::vector<std::string> corpus;
+    corpus.reserve(drugs.size());
+    for (const auto& drug : drugs) corpus.push_back(drug.smiles);
+    chem::EspfConfig espf_config;
+    espf_config.frequency_threshold = config.espf_frequency_threshold;
+    auto espf_or = chem::Espf::Train(corpus, espf_config);
+    if (!espf_or.ok()) return espf_or.status();
+    featurizer.espf_ =
+        std::make_unique<chem::Espf>(std::move(espf_or).value());
+  }
+
+  featurizer.drug_substructures_.reserve(drugs.size());
+  for (const auto& drug : drugs) {
+    auto units_or = featurizer.ExtractUnits(drug.smiles);
+    if (!units_or.ok()) return units_or.status();
+    std::vector<int32_t> ids;
+    std::unordered_set<int32_t> seen;
+    for (const auto& unit : units_or.value()) {
+      const int32_t id = featurizer.vocab_.AddOrGet(unit);
+      featurizer.vocab_.CountOccurrence(id);
+      if (seen.insert(id).second) ids.push_back(id);
+    }
+    featurizer.drug_substructures_.push_back(std::move(ids));
+  }
+  return featurizer;
+}
+
+Result<std::vector<std::string>> SubstructureFeaturizer::ExtractUnits(
+    const std::string& smiles) const {
+  std::string prepared = smiles;
+  if (config_.canonicalize_smiles) {
+    auto canonical_or = chem::CanonicalSmiles(smiles);
+    if (!canonical_or.ok()) return canonical_or.status();
+    prepared = std::move(canonical_or).value();
+  }
+  return ExtractUnitsFromPrepared(prepared);
+}
+
+Result<std::vector<std::string>>
+SubstructureFeaturizer::ExtractUnitsFromPrepared(
+    const std::string& smiles) const {
+  switch (config_.mode) {
+    case SubstructureMode::kEspf:
+      HYGNN_CHECK(espf_ != nullptr);
+      return espf_->Segment(smiles);
+    case SubstructureMode::kKmer:
+      return chem::ExtractKmers(smiles, config_.kmer_k);
+    case SubstructureMode::kStrobemer:
+      return chem::ExtractRandstrobes(smiles, config_.strobemer);
+  }
+  return core::Status::Internal("unknown substructure mode");
+}
+
+Result<std::vector<int32_t>> SubstructureFeaturizer::SegmentNewSmiles(
+    const std::string& smiles) const {
+  auto units_or = ExtractUnits(smiles);
+  if (!units_or.ok()) return units_or.status();
+  std::vector<int32_t> ids;
+  std::unordered_set<int32_t> seen;
+  for (const auto& unit : units_or.value()) {
+    const int32_t id = vocab_.Find(unit);
+    if (id < 0) continue;
+    if (seen.insert(id).second) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace hygnn::data

@@ -1,0 +1,80 @@
+#ifndef HYGNN_DATA_FEATURIZE_H_
+#define HYGNN_DATA_FEATURIZE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chem/espf.h"
+#include "chem/strobemer.h"
+#include "chem/vocab.h"
+#include "core/status.h"
+#include "data/drug.h"
+
+namespace hygnn::data {
+
+/// Which substructure extraction algorithm to use (paper §III-B studies
+/// both).
+enum class SubstructureMode {
+  kEspf,
+  kKmer,
+  kStrobemer,
+};
+
+/// Parameters for substructure extraction. Paper values: ESPF threshold
+/// 5 (741 substructures on DrugBank), k-mer k = 10 (19877 substructures).
+struct FeaturizeConfig {
+  SubstructureMode mode = SubstructureMode::kEspf;
+  int64_t espf_frequency_threshold = 5;
+  int64_t kmer_k = 10;
+  chem::StrobemerConfig strobemer;
+  /// Canonicalize every SMILES before mining/segmentation (the paper's
+  /// §IV-A preprocessing, played there by PubChem). Makes featurization
+  /// invariant to SMILES spelling — two spellings of the same molecule
+  /// yield identical substructure sets.
+  bool canonicalize_smiles = false;
+};
+
+/// The substructure view of a drug corpus: a vocabulary (hypergraph
+/// nodes) and each drug's unique substructure-id set (hyperedge
+/// membership). Built on training drugs' SMILES; `SegmentNewSmiles`
+/// featurizes unseen drugs against the same vocabulary, which is what
+/// enables cold-start prediction.
+class SubstructureFeaturizer {
+ public:
+  /// Mines substructures from every drug's SMILES and assigns ids.
+  static core::Result<SubstructureFeaturizer> Build(
+      const std::vector<DrugRecord>& drugs, const FeaturizeConfig& config);
+
+  /// Unique substructure ids per drug, aligned with the input order.
+  const std::vector<std::vector<int32_t>>& drug_substructures() const {
+    return drug_substructures_;
+  }
+
+  const chem::SubstructureVocabulary& vocabulary() const { return vocab_; }
+  int32_t num_substructures() const { return vocab_.size(); }
+
+  /// Featurizes an unseen SMILES string against the fixed vocabulary.
+  /// Substructures absent from the vocabulary are dropped (they carry no
+  /// learned representation).
+  core::Result<std::vector<int32_t>> SegmentNewSmiles(
+      const std::string& smiles) const;
+
+  const FeaturizeConfig& config() const { return config_; }
+
+ private:
+  core::Result<std::vector<std::string>> ExtractUnits(
+      const std::string& smiles) const;
+  core::Result<std::vector<std::string>> ExtractUnitsFromPrepared(
+      const std::string& smiles) const;
+
+  FeaturizeConfig config_;
+  chem::SubstructureVocabulary vocab_;
+  std::vector<std::vector<int32_t>> drug_substructures_;
+  std::unique_ptr<chem::Espf> espf_;  // set when mode == kEspf
+};
+
+}  // namespace hygnn::data
+
+#endif  // HYGNN_DATA_FEATURIZE_H_

@@ -1,0 +1,89 @@
+#include "data/io.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "core/string_util.h"
+
+namespace hygnn::data {
+
+using core::Result;
+using core::Status;
+
+Status WriteDrugsCsv(const std::vector<DrugRecord>& drugs,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "index,drugbank_id,name,smiles\n";
+  for (const auto& drug : drugs) {
+    out << drug.index << ',' << drug.drugbank_id << ',' << drug.name << ','
+        << drug.smiles << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<std::vector<DrugRecord>> ReadDrugsCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("empty file: " + path);
+  }
+  std::vector<DrugRecord> drugs;
+  while (std::getline(in, line)) {
+    if (core::Trim(line).empty()) continue;
+    auto fields = core::Split(line, ',');
+    if (fields.size() != 4) {
+      return Status::IoError("malformed drug row: " + line);
+    }
+    DrugRecord record;
+    record.index = static_cast<int32_t>(std::strtol(fields[0].c_str(),
+                                                    nullptr, 10));
+    record.drugbank_id = fields[1];
+    record.name = fields[2];
+    record.smiles = fields[3];
+    drugs.push_back(std::move(record));
+  }
+  return drugs;
+}
+
+Status WritePairsCsv(const std::vector<LabeledPair>& pairs,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "drug_a,drug_b,label\n";
+  for (const auto& pair : pairs) {
+    out << pair.a << ',' << pair.b << ','
+        << static_cast<int>(pair.label > 0.5f) << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<std::vector<LabeledPair>> ReadPairsCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("empty file: " + path);
+  }
+  std::vector<LabeledPair> pairs;
+  while (std::getline(in, line)) {
+    if (core::Trim(line).empty()) continue;
+    auto fields = core::Split(line, ',');
+    if (fields.size() != 3) {
+      return Status::IoError("malformed pair row: " + line);
+    }
+    LabeledPair pair;
+    pair.a = static_cast<int32_t>(std::strtol(fields[0].c_str(), nullptr,
+                                              10));
+    pair.b = static_cast<int32_t>(std::strtol(fields[1].c_str(), nullptr,
+                                              10));
+    pair.label = std::strtof(fields[2].c_str(), nullptr);
+    pairs.push_back(pair);
+  }
+  return pairs;
+}
+
+}  // namespace hygnn::data

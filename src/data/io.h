@@ -1,0 +1,29 @@
+#ifndef HYGNN_DATA_IO_H_
+#define HYGNN_DATA_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "data/drug.h"
+
+namespace hygnn::data {
+
+/// Writes the drug registry as CSV: index,drugbank_id,name,smiles.
+core::Status WriteDrugsCsv(const std::vector<DrugRecord>& drugs,
+                           const std::string& path);
+
+/// Reads a drug registry written by WriteDrugsCsv (latent fields are not
+/// persisted — a loaded registry is what an external user would have).
+core::Result<std::vector<DrugRecord>> ReadDrugsCsv(const std::string& path);
+
+/// Writes labeled pairs as CSV: drug_a,drug_b,label.
+core::Status WritePairsCsv(const std::vector<LabeledPair>& pairs,
+                           const std::string& path);
+
+/// Reads labeled pairs written by WritePairsCsv.
+core::Result<std::vector<LabeledPair>> ReadPairsCsv(const std::string& path);
+
+}  // namespace hygnn::data
+
+#endif  // HYGNN_DATA_IO_H_

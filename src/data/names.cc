@@ -1,0 +1,44 @@
+#include "data/names.h"
+
+#include <array>
+
+#include "core/logging.h"
+
+namespace hygnn::data {
+
+namespace {
+
+constexpr std::array<const char*, 20> kOnsets = {
+    "Za", "Me", "Lo", "Tri", "Flu", "Car", "Ve", "Do", "Ami", "Pro",
+    "Keto", "Ri", "Nor", "Eso", "Ral", "Ti", "Bu", "Cla", "Oxa", "Pre"};
+
+constexpr std::array<const char*, 16> kMiddles = {
+    "tra", "bo", "ral", "mi", "xo", "pi", "ve", "do",
+    "lu",  "fa", "ne",  "so", "ta", "ri", "co", "ze"};
+
+constexpr std::array<const char*, 14> kSuffixes = {
+    "vine", "prol", "zole", "mide", "pine", "statin", "cillin",
+    "mycin", "oxacin", "dipine", "sartan", "azepam", "caine", "fenac"};
+
+}  // namespace
+
+std::string NameGenerator::Generate(core::Rng* rng) {
+  HYGNN_CHECK(rng != nullptr);
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    std::string name = kOnsets[rng->UniformInt(kOnsets.size())];
+    if (rng->Bernoulli(0.6)) {
+      name += kMiddles[rng->UniformInt(kMiddles.size())];
+    }
+    name += kSuffixes[rng->UniformInt(kSuffixes.size())];
+    if (used_.insert(name).second) return name;
+  }
+  // Syllable space exhausted: append a numeric disambiguator.
+  for (int counter = 2;; ++counter) {
+    std::string name = kOnsets[rng->UniformInt(kOnsets.size())];
+    name += kSuffixes[rng->UniformInt(kSuffixes.size())];
+    name += "-" + std::to_string(counter);
+    if (used_.insert(name).second) return name;
+  }
+}
+
+}  // namespace hygnn::data

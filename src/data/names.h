@@ -1,0 +1,25 @@
+#ifndef HYGNN_DATA_NAMES_H_
+#define HYGNN_DATA_NAMES_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "core/rng.h"
+
+namespace hygnn::data {
+
+/// Generates unique pronounceable pseudo-drug names ("Zatravine",
+/// "Meboprol", ...) for the synthetic registry that stands in for the
+/// paper's Table III DrugBank name column.
+class NameGenerator {
+ public:
+  /// Returns a fresh unique name drawn from syllable templates.
+  std::string Generate(core::Rng* rng);
+
+ private:
+  std::unordered_set<std::string> used_;
+};
+
+}  // namespace hygnn::data
+
+#endif  // HYGNN_DATA_NAMES_H_

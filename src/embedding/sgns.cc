@@ -1,0 +1,138 @@
+#include "embedding/sgns.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace hygnn::embedding {
+
+namespace {
+constexpr size_t kNoiseTableSize = 1 << 18;
+
+float FastSigmoid(float x) {
+  if (x > 8.0f) return 1.0f;
+  if (x < -8.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+}  // namespace
+
+SgnsModel::SgnsModel(int32_t vocab_size, const SgnsConfig& config,
+                     core::Rng* rng)
+    : vocab_size_(vocab_size), config_(config) {
+  HYGNN_CHECK_GT(vocab_size, 0);
+  HYGNN_CHECK(rng != nullptr);
+  const float scale = 0.5f / static_cast<float>(config_.dimension);
+  in_embeddings_.assign(static_cast<size_t>(vocab_size),
+                        std::vector<float>(config_.dimension, 0.0f));
+  out_embeddings_.assign(static_cast<size_t>(vocab_size),
+                         std::vector<float>(config_.dimension, 0.0f));
+  for (auto& row : in_embeddings_) {
+    for (auto& v : row) {
+      v = (rng->UniformFloat() - 0.5f) * 2.0f * scale;
+    }
+  }
+}
+
+void SgnsModel::BuildNoiseTable(
+    const std::vector<std::vector<int32_t>>& walks) {
+  std::vector<double> counts(static_cast<size_t>(vocab_size_), 0.0);
+  for (const auto& walk : walks) {
+    for (int32_t node : walk) {
+      HYGNN_CHECK(node >= 0 && node < vocab_size_);
+      counts[static_cast<size_t>(node)] += 1.0;
+    }
+  }
+  double total = 0.0;
+  for (auto& c : counts) {
+    c = std::pow(c, config_.noise_exponent);
+    total += c;
+  }
+  noise_table_.clear();
+  noise_table_.reserve(kNoiseTableSize);
+  if (total <= 0.0) {
+    for (size_t i = 0; i < kNoiseTableSize; ++i) {
+      noise_table_.push_back(static_cast<int32_t>(i % vocab_size_));
+    }
+    return;
+  }
+  for (int32_t node = 0; node < vocab_size_; ++node) {
+    const size_t slots = static_cast<size_t>(
+        counts[static_cast<size_t>(node)] / total * kNoiseTableSize);
+    for (size_t s = 0; s < slots; ++s) noise_table_.push_back(node);
+  }
+  while (noise_table_.size() < kNoiseTableSize) {
+    noise_table_.push_back(static_cast<int32_t>(
+        noise_table_.size() % static_cast<size_t>(vocab_size_)));
+  }
+}
+
+void SgnsModel::UpdatePair(int32_t center, int32_t context, float lr,
+                           core::Rng* rng) {
+  const int64_t d = config_.dimension;
+  auto& v_in = in_embeddings_[static_cast<size_t>(center)];
+  std::vector<float> grad_in(static_cast<size_t>(d), 0.0f);
+
+  // Positive sample target 1, negatives target 0 (shared loop).
+  for (int32_t s = 0; s < config_.negative_samples + 1; ++s) {
+    int32_t target_node;
+    float label;
+    if (s == 0) {
+      target_node = context;
+      label = 1.0f;
+    } else {
+      target_node = noise_table_[rng->UniformInt(noise_table_.size())];
+      if (target_node == context) continue;
+      label = 0.0f;
+    }
+    auto& v_out = out_embeddings_[static_cast<size_t>(target_node)];
+    float dot = 0.0f;
+    for (int64_t i = 0; i < d; ++i) dot += v_in[i] * v_out[i];
+    const float gradient = (FastSigmoid(dot) - label) * lr;
+    for (int64_t i = 0; i < d; ++i) {
+      grad_in[i] += gradient * v_out[i];
+      v_out[i] -= gradient * v_in[i];
+    }
+  }
+  for (int64_t i = 0; i < d; ++i) v_in[i] -= grad_in[i];
+}
+
+void SgnsModel::Train(const std::vector<std::vector<int32_t>>& walks,
+                      core::Rng* rng) {
+  HYGNN_CHECK(rng != nullptr);
+  BuildNoiseTable(walks);
+  int64_t total_tokens = 0;
+  for (const auto& walk : walks) {
+    total_tokens += static_cast<int64_t>(walk.size());
+  }
+  const int64_t total_steps =
+      std::max<int64_t>(1, total_tokens * config_.epochs);
+  int64_t step = 0;
+  for (int32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (const auto& walk : walks) {
+      for (size_t center = 0; center < walk.size(); ++center) {
+        const float progress =
+            static_cast<float>(step) / static_cast<float>(total_steps);
+        const float lr = std::max(config_.learning_rate * (1.0f - progress),
+                                  config_.learning_rate * 1e-2f);
+        const size_t window_begin =
+            center >= static_cast<size_t>(config_.window_size)
+                ? center - config_.window_size
+                : 0;
+        const size_t window_end =
+            std::min(walk.size() - 1, center + config_.window_size);
+        for (size_t ctx = window_begin; ctx <= window_end; ++ctx) {
+          if (ctx == center) continue;
+          UpdatePair(walk[center], walk[ctx], lr, rng);
+        }
+        ++step;
+      }
+    }
+  }
+}
+
+const std::vector<float>& SgnsModel::Embedding(int32_t node) const {
+  HYGNN_CHECK(node >= 0 && node < vocab_size_);
+  return in_embeddings_[static_cast<size_t>(node)];
+}
+
+}  // namespace hygnn::embedding

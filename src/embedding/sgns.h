@@ -1,0 +1,57 @@
+#ifndef HYGNN_EMBEDDING_SGNS_H_
+#define HYGNN_EMBEDDING_SGNS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace hygnn::embedding {
+
+/// Skip-gram with negative sampling (word2vec) hyperparameters. The
+/// paper's random-walk baselines use window_size = 5.
+struct SgnsConfig {
+  int64_t dimension = 64;
+  int32_t window_size = 5;
+  int32_t negative_samples = 5;
+  int32_t epochs = 3;
+  float learning_rate = 0.025f;
+  /// Unigram distribution smoothing exponent (word2vec's 0.75).
+  double noise_exponent = 0.75;
+};
+
+/// Trains SGNS over a corpus of walks (sequences of node ids) and
+/// exposes the learned input embeddings. This is the shared training
+/// core of the DeepWalk and node2vec baselines.
+class SgnsModel {
+ public:
+  SgnsModel(int32_t vocab_size, const SgnsConfig& config, core::Rng* rng);
+
+  /// Runs `config.epochs` passes over the walk corpus with linearly
+  /// decaying learning rate.
+  void Train(const std::vector<std::vector<int32_t>>& walks,
+             core::Rng* rng);
+
+  /// The input embedding of a node.
+  const std::vector<float>& Embedding(int32_t node) const;
+
+  int64_t dimension() const { return config_.dimension; }
+  int32_t vocab_size() const { return vocab_size_; }
+
+ private:
+  /// One positive (center, context) update plus negative samples.
+  void UpdatePair(int32_t center, int32_t context, float lr,
+                  core::Rng* rng);
+
+  void BuildNoiseTable(const std::vector<std::vector<int32_t>>& walks);
+
+  int32_t vocab_size_;
+  SgnsConfig config_;
+  std::vector<std::vector<float>> in_embeddings_;
+  std::vector<std::vector<float>> out_embeddings_;
+  std::vector<int32_t> noise_table_;
+};
+
+}  // namespace hygnn::embedding
+
+#endif  // HYGNN_EMBEDDING_SGNS_H_

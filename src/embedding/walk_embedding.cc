@@ -1,0 +1,36 @@
+#include "embedding/walk_embedding.h"
+
+namespace hygnn::embedding {
+
+namespace {
+
+std::vector<std::vector<float>> TrainOnWalks(
+    int32_t num_nodes, const std::vector<std::vector<int32_t>>& walks,
+    const SgnsConfig& sgns_config, core::Rng* rng) {
+  SgnsModel model(num_nodes, sgns_config, rng);
+  model.Train(walks, rng);
+  std::vector<std::vector<float>> embeddings;
+  embeddings.reserve(static_cast<size_t>(num_nodes));
+  for (int32_t v = 0; v < num_nodes; ++v) {
+    embeddings.push_back(model.Embedding(v));
+  }
+  return embeddings;
+}
+
+}  // namespace
+
+std::vector<std::vector<float>> DeepWalkEmbeddings(
+    const graph::Graph& graph, const WalkEmbeddingConfig& config,
+    core::Rng* rng) {
+  auto walks = graph::UniformRandomWalks(graph, config.walk, rng);
+  return TrainOnWalks(graph.num_nodes(), walks, config.sgns, rng);
+}
+
+std::vector<std::vector<float>> Node2VecEmbeddings(
+    const graph::Graph& graph, const WalkEmbeddingConfig& config,
+    core::Rng* rng) {
+  auto walks = graph::BiasedRandomWalks(graph, config.walk, rng);
+  return TrainOnWalks(graph.num_nodes(), walks, config.sgns, rng);
+}
+
+}  // namespace hygnn::embedding

@@ -1,0 +1,35 @@
+#ifndef HYGNN_EMBEDDING_WALK_EMBEDDING_H_
+#define HYGNN_EMBEDDING_WALK_EMBEDDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "embedding/sgns.h"
+#include "graph/graph.h"
+#include "graph/random_walk.h"
+
+namespace hygnn::embedding {
+
+/// Combined walk + SGNS configuration. Paper settings for both
+/// baselines: walk_length 100, num_walks 10, window 5.
+struct WalkEmbeddingConfig {
+  graph::RandomWalkConfig walk;
+  SgnsConfig sgns;
+};
+
+/// DeepWalk (Perozzi et al.): uniform random walks + skip-gram.
+/// Returns one embedding row per node ([num_nodes][dimension]).
+std::vector<std::vector<float>> DeepWalkEmbeddings(
+    const graph::Graph& graph, const WalkEmbeddingConfig& config,
+    core::Rng* rng);
+
+/// node2vec (Grover & Leskovec): p,q-biased walks + skip-gram. The p
+/// and q parameters come from config.walk.
+std::vector<std::vector<float>> Node2VecEmbeddings(
+    const graph::Graph& graph, const WalkEmbeddingConfig& config,
+    core::Rng* rng);
+
+}  // namespace hygnn::embedding
+
+#endif  // HYGNN_EMBEDDING_WALK_EMBEDDING_H_

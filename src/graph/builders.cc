@@ -1,0 +1,57 @@
+#include "graph/builders.h"
+
+#include <unordered_map>
+
+#include "core/logging.h"
+
+namespace hygnn::graph {
+
+Graph BuildDdiGraph(int32_t num_drugs,
+                    const std::vector<std::pair<int32_t, int32_t>>&
+                        positive_training_pairs) {
+  return Graph(num_drugs, positive_training_pairs);
+}
+
+Graph BuildSubstructureSimilarityGraph(
+    const std::vector<std::vector<int32_t>>& drug_substructures,
+    int32_t num_substructures, int64_t min_common_substructures) {
+  HYGNN_CHECK_GE(min_common_substructures, 1);
+  const int32_t num_drugs =
+      static_cast<int32_t>(drug_substructures.size());
+  // Invert: substructure -> drugs containing it, then count pair overlaps
+  // through the inverted index (avoids the O(n^2 * s) all-pairs scan).
+  std::vector<std::vector<int32_t>> owners(
+      static_cast<size_t>(num_substructures));
+  for (int32_t d = 0; d < num_drugs; ++d) {
+    for (int32_t s : drug_substructures[static_cast<size_t>(d)]) {
+      HYGNN_CHECK(s >= 0 && s < num_substructures);
+      owners[static_cast<size_t>(s)].push_back(d);
+    }
+  }
+  std::unordered_map<int64_t, int64_t> overlap;
+  for (const auto& drugs : owners) {
+    for (size_t i = 0; i < drugs.size(); ++i) {
+      for (size_t j = i + 1; j < drugs.size(); ++j) {
+        const int64_t key =
+            static_cast<int64_t>(drugs[i]) * num_drugs + drugs[j];
+        overlap[key]++;
+      }
+    }
+  }
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (const auto& [key, count] : overlap) {
+    if (count >= min_common_substructures) {
+      edges.emplace_back(static_cast<int32_t>(key / num_drugs),
+                         static_cast<int32_t>(key % num_drugs));
+    }
+  }
+  return Graph(num_drugs, edges);
+}
+
+Hypergraph BuildDrugHypergraph(
+    const std::vector<std::vector<int32_t>>& drug_substructures,
+    int32_t num_substructures) {
+  return Hypergraph(num_substructures, drug_substructures);
+}
+
+}  // namespace hygnn::graph

@@ -1,0 +1,38 @@
+#ifndef HYGNN_GRAPH_BUILDERS_H_
+#define HYGNN_GRAPH_BUILDERS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+
+namespace hygnn::graph {
+
+/// Builds the DDI graph (paper baseline group 1/2): drugs are nodes, an
+/// edge joins two drugs with a *known training* interaction. Test-set
+/// positives must NOT be included — passing only training positives here
+/// is what keeps the baselines honest.
+Graph BuildDdiGraph(int32_t num_drugs,
+                    const std::vector<std::pair<int32_t, int32_t>>&
+                        positive_training_pairs);
+
+/// Builds the substructure-similarity graph (paper baseline group 3,
+/// following Bumgardner et al.): drugs are nodes, an edge joins two
+/// drugs sharing at least `min_common_substructures` substructures.
+/// `drug_substructures[d]` is the (deduplicated) substructure-id set of
+/// drug d.
+Graph BuildSubstructureSimilarityGraph(
+    const std::vector<std::vector<int32_t>>& drug_substructures,
+    int32_t num_substructures, int64_t min_common_substructures);
+
+/// Builds the paper's drug hypergraph (§III-B): substructures are nodes,
+/// each drug is one hyperedge consisting of its unique substructures.
+Hypergraph BuildDrugHypergraph(
+    const std::vector<std::vector<int32_t>>& drug_substructures,
+    int32_t num_substructures);
+
+}  // namespace hygnn::graph
+
+#endif  // HYGNN_GRAPH_BUILDERS_H_

@@ -1,0 +1,71 @@
+#ifndef HYGNN_GRAPH_HYPERGRAPH_H_
+#define HYGNN_GRAPH_HYPERGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hygnn::graph {
+
+/// A hypergraph G = (V, E) where each hyperedge connects an arbitrary
+/// number of nodes (paper §III-A). In the drug hypergraph, nodes are
+/// chemical substructures and hyperedges are drugs.
+///
+/// Storage is the COO incidence list — one (node, edge) pair per
+/// membership — plus CSR adjacency in both directions. The COO pairs are
+/// exactly the rows that HyGNN's segment-softmax attention operates on.
+class Hypergraph {
+ public:
+  /// Builds from per-edge member lists: members[j] is the node set of
+  /// hyperedge j. Duplicate members within an edge are merged.
+  Hypergraph(int32_t num_nodes,
+             const std::vector<std::vector<int32_t>>& members);
+
+  int32_t num_nodes() const { return num_nodes_; }
+  int32_t num_edges() const { return num_edges_; }
+  /// Total number of (node, edge) incidences (nnz of H).
+  int64_t num_incidences() const {
+    return static_cast<int64_t>(pair_nodes_.size());
+  }
+
+  /// COO incidence: pair i connects node pair_nodes()[i] to hyperedge
+  /// pair_edges()[i]. Pairs are ordered by edge then node.
+  const std::vector<int32_t>& pair_nodes() const { return pair_nodes_; }
+  const std::vector<int32_t>& pair_edges() const { return pair_edges_; }
+
+  /// Nodes belonging to hyperedge `edge`, ascending.
+  std::span<const int32_t> EdgeMembers(int32_t edge) const;
+
+  /// Hyperedges containing `node`, ascending.
+  std::span<const int32_t> NodeMemberships(int32_t node) const;
+
+  /// Node degree |E_i| (number of incident hyperedges).
+  int64_t NodeDegree(int32_t node) const;
+
+  /// Hyperedge degree |e_j| (number of member nodes).
+  int64_t EdgeDegree(int32_t edge) const;
+
+  /// Number of shared nodes between two hyperedges.
+  int64_t SharedNodes(int32_t edge_a, int32_t edge_b) const;
+
+  /// Dense incidence matrix H (num_nodes x num_edges, 0/1) — matches the
+  /// paper's H with H[i][j]=1 iff v_i in e_j. For tests/inspection only.
+  std::vector<std::vector<uint8_t>> DenseIncidence() const;
+
+ private:
+  int32_t num_nodes_ = 0;
+  int32_t num_edges_ = 0;
+  // COO pairs sorted by (edge, node).
+  std::vector<int32_t> pair_nodes_;
+  std::vector<int32_t> pair_edges_;
+  // CSR edge -> nodes
+  std::vector<int64_t> edge_offsets_;
+  std::vector<int32_t> edge_members_;
+  // CSR node -> edges
+  std::vector<int64_t> node_offsets_;
+  std::vector<int32_t> node_memberships_;
+};
+
+}  // namespace hygnn::graph
+
+#endif  // HYGNN_GRAPH_HYPERGRAPH_H_

@@ -1,0 +1,73 @@
+#include "graph/random_walk.h"
+
+#include "core/logging.h"
+
+namespace hygnn::graph {
+
+std::vector<std::vector<int32_t>> UniformRandomWalks(
+    const Graph& graph, const RandomWalkConfig& config, core::Rng* rng) {
+  HYGNN_CHECK(rng != nullptr);
+  std::vector<std::vector<int32_t>> walks;
+  walks.reserve(static_cast<size_t>(graph.num_nodes()) *
+                config.num_walks_per_node);
+  for (int32_t round = 0; round < config.num_walks_per_node; ++round) {
+    for (int32_t start = 0; start < graph.num_nodes(); ++start) {
+      std::vector<int32_t> walk{start};
+      int32_t current = start;
+      for (int32_t step = 1; step < config.walk_length; ++step) {
+        auto nbrs = graph.Neighbors(current);
+        if (nbrs.empty()) break;
+        current = nbrs[rng->UniformInt(nbrs.size())];
+        walk.push_back(current);
+      }
+      walks.push_back(std::move(walk));
+    }
+  }
+  return walks;
+}
+
+std::vector<std::vector<int32_t>> BiasedRandomWalks(
+    const Graph& graph, const RandomWalkConfig& config, core::Rng* rng) {
+  HYGNN_CHECK(rng != nullptr);
+  HYGNN_CHECK_GT(config.p, 0.0);
+  HYGNN_CHECK_GT(config.q, 0.0);
+  std::vector<std::vector<int32_t>> walks;
+  walks.reserve(static_cast<size_t>(graph.num_nodes()) *
+                config.num_walks_per_node);
+  std::vector<double> weights;
+  for (int32_t round = 0; round < config.num_walks_per_node; ++round) {
+    for (int32_t start = 0; start < graph.num_nodes(); ++start) {
+      std::vector<int32_t> walk{start};
+      int32_t prev = -1;
+      int32_t current = start;
+      for (int32_t step = 1; step < config.walk_length; ++step) {
+        auto nbrs = graph.Neighbors(current);
+        if (nbrs.empty()) break;
+        int32_t next;
+        if (prev < 0) {
+          next = nbrs[rng->UniformInt(nbrs.size())];
+        } else {
+          weights.resize(nbrs.size());
+          for (size_t i = 0; i < nbrs.size(); ++i) {
+            const int32_t candidate = nbrs[i];
+            if (candidate == prev) {
+              weights[i] = 1.0 / config.p;
+            } else if (graph.HasEdge(candidate, prev)) {
+              weights[i] = 1.0;
+            } else {
+              weights[i] = 1.0 / config.q;
+            }
+          }
+          next = nbrs[rng->Categorical(weights)];
+        }
+        walk.push_back(next);
+        prev = current;
+        current = next;
+      }
+      walks.push_back(std::move(walk));
+    }
+  }
+  return walks;
+}
+
+}  // namespace hygnn::graph

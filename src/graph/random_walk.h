@@ -1,0 +1,36 @@
+#ifndef HYGNN_GRAPH_RANDOM_WALK_H_
+#define HYGNN_GRAPH_RANDOM_WALK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "graph/graph.h"
+
+namespace hygnn::graph {
+
+/// Configuration shared by DeepWalk (uniform) and node2vec (biased)
+/// walks. Paper settings: walk_length=100, num_walks_per_node=10.
+struct RandomWalkConfig {
+  int32_t walk_length = 100;
+  int32_t num_walks_per_node = 10;
+  /// node2vec return parameter p (1.0 = uniform second-order behaviour).
+  double p = 1.0;
+  /// node2vec in-out parameter q.
+  double q = 1.0;
+};
+
+/// Generates `num_walks_per_node` uniform random walks from every node.
+/// Walks stop early at isolated nodes. DeepWalk corpus generator.
+std::vector<std::vector<int32_t>> UniformRandomWalks(
+    const Graph& graph, const RandomWalkConfig& config, core::Rng* rng);
+
+/// Generates node2vec second-order biased walks: the unnormalized
+/// probability of stepping from v (previous node t) to x is
+///   1/p if x == t, 1 if x adjacent to t, 1/q otherwise.
+std::vector<std::vector<int32_t>> BiasedRandomWalks(
+    const Graph& graph, const RandomWalkConfig& config, core::Rng* rng);
+
+}  // namespace hygnn::graph
+
+#endif  // HYGNN_GRAPH_RANDOM_WALK_H_

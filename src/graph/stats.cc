@@ -1,0 +1,98 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+
+namespace hygnn::graph {
+
+GraphStats ComputeGraphStats(const Graph& graph) {
+  GraphStats stats;
+  stats.num_nodes = graph.num_nodes();
+  stats.num_edges = graph.num_edges();
+  int64_t degree_sum = 0;
+  for (int32_t v = 0; v < graph.num_nodes(); ++v) {
+    const int64_t degree = graph.Degree(v);
+    degree_sum += degree;
+    stats.max_degree = std::max(stats.max_degree, degree);
+    if (degree == 0) ++stats.isolated_nodes;
+  }
+  if (graph.num_nodes() > 0) {
+    stats.average_degree =
+        static_cast<double>(degree_sum) / graph.num_nodes();
+  }
+  stats.connected_components =
+      static_cast<int32_t>(ConnectedComponents(graph).size());
+
+  // Triangles and wedges via neighbor-list intersection.
+  int64_t triangles_x3 = 0;
+  int64_t wedges = 0;
+  for (int32_t v = 0; v < graph.num_nodes(); ++v) {
+    const int64_t degree = graph.Degree(v);
+    wedges += degree * (degree - 1) / 2;
+    auto nbrs = graph.Neighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (graph.HasEdge(nbrs[i], nbrs[j])) ++triangles_x3;
+      }
+    }
+  }
+  if (wedges > 0) {
+    stats.clustering_coefficient =
+        static_cast<double>(triangles_x3) / static_cast<double>(wedges);
+  }
+  return stats;
+}
+
+std::vector<std::vector<int32_t>> ConnectedComponents(const Graph& graph) {
+  std::vector<std::vector<int32_t>> components;
+  std::vector<bool> visited(static_cast<size_t>(graph.num_nodes()), false);
+  std::vector<int32_t> stack;
+  for (int32_t start = 0; start < graph.num_nodes(); ++start) {
+    if (visited[static_cast<size_t>(start)]) continue;
+    std::vector<int32_t> component;
+    stack.push_back(start);
+    visited[static_cast<size_t>(start)] = true;
+    while (!stack.empty()) {
+      const int32_t v = stack.back();
+      stack.pop_back();
+      component.push_back(v);
+      for (int32_t nbr : graph.Neighbors(v)) {
+        if (!visited[static_cast<size_t>(nbr)]) {
+          visited[static_cast<size_t>(nbr)] = true;
+          stack.push_back(nbr);
+        }
+      }
+    }
+    std::sort(component.begin(), component.end());
+    components.push_back(std::move(component));
+  }
+  std::sort(components.begin(), components.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+  return components;
+}
+
+HypergraphStats ComputeHypergraphStats(const Hypergraph& hypergraph) {
+  HypergraphStats stats;
+  stats.num_nodes = hypergraph.num_nodes();
+  stats.num_edges = hypergraph.num_edges();
+  stats.num_incidences = hypergraph.num_incidences();
+  for (int32_t e = 0; e < hypergraph.num_edges(); ++e) {
+    stats.max_edge_degree =
+        std::max(stats.max_edge_degree, hypergraph.EdgeDegree(e));
+  }
+  for (int32_t v = 0; v < hypergraph.num_nodes(); ++v) {
+    const int64_t degree = hypergraph.NodeDegree(v);
+    stats.max_node_degree = std::max(stats.max_node_degree, degree);
+    if (degree == 1) ++stats.private_nodes;
+  }
+  if (hypergraph.num_edges() > 0) {
+    stats.average_edge_degree =
+        static_cast<double>(stats.num_incidences) / hypergraph.num_edges();
+  }
+  if (hypergraph.num_nodes() > 0) {
+    stats.average_node_degree =
+        static_cast<double>(stats.num_incidences) / hypergraph.num_nodes();
+  }
+  return stats;
+}
+
+}  // namespace hygnn::graph

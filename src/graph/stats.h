@@ -1,0 +1,50 @@
+#ifndef HYGNN_GRAPH_STATS_H_
+#define HYGNN_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+
+namespace hygnn::graph {
+
+/// Summary statistics of a simple graph; used to characterize generated
+/// DDI / SSG graphs in benches and tests.
+struct GraphStats {
+  int32_t num_nodes = 0;
+  int64_t num_edges = 0;
+  double average_degree = 0.0;
+  int64_t max_degree = 0;
+  int64_t isolated_nodes = 0;
+  int32_t connected_components = 0;
+  /// Global clustering coefficient: 3 * triangles / wedges (0 when no
+  /// wedges exist).
+  double clustering_coefficient = 0.0;
+};
+
+GraphStats ComputeGraphStats(const Graph& graph);
+
+/// Node ids of each connected component (singletons included), largest
+/// first.
+std::vector<std::vector<int32_t>> ConnectedComponents(const Graph& graph);
+
+/// Summary statistics of a hypergraph.
+struct HypergraphStats {
+  int32_t num_nodes = 0;
+  int32_t num_edges = 0;
+  int64_t num_incidences = 0;
+  double average_edge_degree = 0.0;  // mean |e_j|
+  double average_node_degree = 0.0;  // mean |E_i|
+  int64_t max_edge_degree = 0;
+  int64_t max_node_degree = 0;
+  /// Nodes contained in exactly one hyperedge (they carry no
+  /// cross-drug signal).
+  int64_t private_nodes = 0;
+};
+
+HypergraphStats ComputeHypergraphStats(const Hypergraph& hypergraph);
+
+}  // namespace hygnn::graph
+
+#endif  // HYGNN_GRAPH_STATS_H_

@@ -1,0 +1,128 @@
+#include "hygnn/trainer.h"
+
+#include <limits>
+
+#include "core/logging.h"
+#include "core/rng.h"
+#include "tensor/loss.h"
+#include "tensor/optimizer.h"
+
+namespace hygnn::model {
+
+EvalResult EvaluateScores(const std::vector<float>& scores,
+                          const std::vector<float>& labels) {
+  EvalResult result;
+  result.f1 = metrics::F1Score(scores, labels);
+  result.roc_auc = metrics::RocAuc(scores, labels);
+  result.pr_auc = metrics::PrAuc(scores, labels);
+  return result;
+}
+
+std::vector<float> LabelsOf(const std::vector<data::LabeledPair>& pairs) {
+  std::vector<float> labels;
+  labels.reserve(pairs.size());
+  for (const auto& pair : pairs) labels.push_back(pair.label);
+  return labels;
+}
+
+HyGnnTrainer::HyGnnTrainer(HyGnnModel* model, const TrainConfig& config)
+    : model_(model), config_(config) {
+  HYGNN_CHECK(model != nullptr);
+}
+
+float HyGnnTrainer::Fit(const HypergraphContext& context,
+                        const std::vector<data::LabeledPair>& train_pairs) {
+  HYGNN_CHECK(!train_pairs.empty());
+  core::Rng rng(config_.seed);
+  tensor::Adam optimizer(model_->Parameters(), config_.learning_rate, 0.9f,
+                         0.999f, 1e-8f, config_.weight_decay);
+
+  // Optional validation fold for early stopping.
+  std::vector<data::LabeledPair> train = train_pairs;
+  std::vector<data::LabeledPair> validation;
+  if (config_.validation_fraction > 0.0 && train_pairs.size() >= 10) {
+    rng.Shuffle(train);
+    const size_t val_size = std::max<size_t>(
+        1, static_cast<size_t>(config_.validation_fraction *
+                               static_cast<double>(train.size())));
+    validation.assign(train.end() - static_cast<ptrdiff_t>(val_size),
+                      train.end());
+    train.resize(train.size() - val_size);
+  }
+  const std::vector<float> validation_labels = LabelsOf(validation);
+
+  float last_loss = 0.0f;
+  float best_val_loss = std::numeric_limits<float>::infinity();
+  int32_t epochs_since_improvement = 0;
+  for (int32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (config_.batch_size > 0) {
+      rng.Shuffle(train);
+      float epoch_loss = 0.0f;
+      size_t batches = 0;
+      for (size_t begin = 0; begin < train.size();
+           begin += static_cast<size_t>(config_.batch_size)) {
+        const size_t end = std::min(
+            train.size(), begin + static_cast<size_t>(config_.batch_size));
+        std::vector<data::LabeledPair> batch(train.begin() + begin,
+                                             train.begin() + end);
+        optimizer.ZeroGrad();
+        tensor::Tensor logits =
+            model_->Forward(context, batch, /*training=*/true, &rng);
+        tensor::Tensor loss =
+            tensor::BceWithLogitsLoss(logits, LabelsOf(batch));
+        loss.Backward();
+        if (config_.grad_clip > 0.0f) {
+          optimizer.ClipGradNorm(config_.grad_clip);
+        }
+        optimizer.Step();
+        epoch_loss += loss.item();
+        ++batches;
+      }
+      last_loss = epoch_loss / static_cast<float>(batches);
+    } else {
+      optimizer.ZeroGrad();
+      tensor::Tensor logits =
+          model_->Forward(context, train, /*training=*/true, &rng);
+      tensor::Tensor loss =
+          tensor::BceWithLogitsLoss(logits, LabelsOf(train));
+      loss.Backward();
+      if (config_.grad_clip > 0.0f) {
+        optimizer.ClipGradNorm(config_.grad_clip);
+      }
+      optimizer.Step();
+      last_loss = loss.item();
+    }
+
+    if (!validation.empty()) {
+      tensor::Tensor val_logits =
+          model_->Forward(context, validation, /*training=*/false, nullptr);
+      const float val_loss =
+          tensor::BceWithLogitsLoss(val_logits, validation_labels).item();
+      if (val_loss < best_val_loss - 1e-5f) {
+        best_val_loss = val_loss;
+        epochs_since_improvement = 0;
+      } else if (++epochs_since_improvement >= config_.patience) {
+        if (config_.verbose) {
+          HYGNN_LOG(Info) << "early stop at epoch " << epoch
+                          << " (val loss " << val_loss << ")";
+        }
+        break;
+      }
+    }
+    if (config_.verbose && (epoch % config_.log_every == 0 ||
+                            epoch + 1 == config_.epochs)) {
+      HYGNN_LOG(Info) << "epoch " << epoch << " loss " << last_loss;
+    }
+  }
+  return last_loss;
+}
+
+EvalResult HyGnnTrainer::Evaluate(
+    const HypergraphContext& context,
+    const std::vector<data::LabeledPair>& pairs) const {
+  const std::vector<float> scores =
+      model_->PredictProbabilities(context, pairs);
+  return EvaluateScores(scores, LabelsOf(pairs));
+}
+
+}  // namespace hygnn::model

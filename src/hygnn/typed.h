@@ -1,0 +1,92 @@
+#ifndef HYGNN_HYGNN_TYPED_H_
+#define HYGNN_HYGNN_TYPED_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/drug.h"
+#include "hygnn/encoder.h"
+#include "nn/mlp.h"
+#include "nn/module.h"
+
+namespace hygnn::model {
+
+/// A drug pair labeled with an interaction *type* in [0, num_types).
+/// Extension of the paper toward multi-relational DDI prediction (the
+/// setting of SumGNN / Decagon, both cited in §II): instead of "do they
+/// interact?", predict *which* latent reaction fires.
+struct TypedPair {
+  int32_t a = 0;
+  int32_t b = 0;
+  int32_t type = 0;
+};
+
+/// HyGNN with a multi-class decoder: the same hypergraph edge encoder
+/// followed by an MLP emitting one logit per interaction type.
+class TypedHyGnnModel : public nn::Module {
+ public:
+  TypedHyGnnModel(int64_t input_dim, int32_t num_types,
+                  const EncoderConfig& encoder_config,
+                  int64_t decoder_hidden_dim, core::Rng* rng);
+
+  /// Class logits [n_pairs, num_types].
+  tensor::Tensor Forward(const HypergraphContext& context,
+                         const std::vector<TypedPair>& pairs, bool training,
+                         core::Rng* rng) const;
+
+  /// Per-pair predicted type (argmax of the class distribution).
+  std::vector<int32_t> PredictTypes(const HypergraphContext& context,
+                                    const std::vector<TypedPair>& pairs)
+      const;
+
+  std::vector<tensor::Tensor> Parameters() const override;
+
+  int32_t num_types() const { return num_types_; }
+
+ private:
+  int32_t num_types_;
+  StackedEncoder encoder_;
+  nn::Mlp head_;
+};
+
+/// Training configuration for the typed model.
+struct TypedTrainConfig {
+  int32_t epochs = 150;
+  float learning_rate = 0.01f;
+  float grad_clip = 5.0f;
+  float weight_decay = 1e-4f;
+  uint64_t seed = 7;
+};
+
+/// Multi-class evaluation: accuracy and macro-averaged F1.
+struct TypedEvalResult {
+  double accuracy = 0.0;
+  double macro_f1 = 0.0;
+};
+
+/// Trains with softmax cross-entropy and evaluates typed predictions.
+class TypedTrainer {
+ public:
+  TypedTrainer(TypedHyGnnModel* model, const TypedTrainConfig& config);
+
+  float Fit(const HypergraphContext& context,
+            const std::vector<TypedPair>& train_pairs);
+
+  TypedEvalResult Evaluate(const HypergraphContext& context,
+                           const std::vector<TypedPair>& pairs) const;
+
+ private:
+  TypedHyGnnModel* model_;
+  TypedTrainConfig config_;
+};
+
+/// Computes accuracy and macro-F1 of predicted vs actual types.
+TypedEvalResult EvaluateTyped(const std::vector<int32_t>& predicted,
+                              const std::vector<int32_t>& actual,
+                              int32_t num_types);
+
+}  // namespace hygnn::model
+
+#endif  // HYGNN_HYGNN_TYPED_H_

@@ -1,0 +1,217 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/logging.h"
+
+namespace hygnn::metrics {
+
+double ConfusionMatrix::Accuracy() const {
+  const int64_t total = true_positives + false_positives + true_negatives +
+                        false_negatives;
+  if (total == 0) return 0.0;
+  return static_cast<double>(true_positives + true_negatives) /
+         static_cast<double>(total);
+}
+
+double ConfusionMatrix::Precision() const {
+  const int64_t denom = true_positives + false_positives;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(true_positives) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::Recall() const {
+  const int64_t denom = true_positives + false_negatives;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(true_positives) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::F1() const {
+  const double precision = Precision();
+  const double recall = Recall();
+  if (precision + recall == 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+ConfusionMatrix ComputeConfusion(const std::vector<float>& scores,
+                                 const std::vector<float>& labels,
+                                 float threshold) {
+  HYGNN_CHECK_EQ(scores.size(), labels.size());
+  ConfusionMatrix cm;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted = scores[i] >= threshold;
+    const bool actual = labels[i] > 0.5f;
+    if (predicted && actual) {
+      ++cm.true_positives;
+    } else if (predicted && !actual) {
+      ++cm.false_positives;
+    } else if (!predicted && actual) {
+      ++cm.false_negatives;
+    } else {
+      ++cm.true_negatives;
+    }
+  }
+  return cm;
+}
+
+double F1Score(const std::vector<float>& scores,
+               const std::vector<float>& labels, float threshold) {
+  return ComputeConfusion(scores, labels, threshold).F1();
+}
+
+double RocAuc(const std::vector<float>& scores,
+              const std::vector<float>& labels) {
+  HYGNN_CHECK_EQ(scores.size(), labels.size());
+  const size_t n = scores.size();
+  // Rank the scores (average ranks on ties), then apply Mann-Whitney.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&scores](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) +
+                             static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  double positive_rank_sum = 0.0;
+  int64_t positives = 0;
+  for (size_t k = 0; k < n; ++k) {
+    if (labels[k] > 0.5f) {
+      positive_rank_sum += ranks[k];
+      ++positives;
+    }
+  }
+  const int64_t negatives = static_cast<int64_t>(n) - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  const double u = positive_rank_sum -
+                   static_cast<double>(positives) *
+                       (static_cast<double>(positives) + 1.0) / 2.0;
+  return u / (static_cast<double>(positives) *
+              static_cast<double>(negatives));
+}
+
+double PrAuc(const std::vector<float>& scores,
+             const std::vector<float>& labels) {
+  HYGNN_CHECK_EQ(scores.size(), labels.size());
+  const size_t n = scores.size();
+  int64_t total_positives = 0;
+  for (float label : labels) {
+    if (label > 0.5f) ++total_positives;
+  }
+  if (total_positives == 0) return 0.0;
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  // Average precision: sum over thresholds of precision * delta-recall,
+  // processing tied scores as a single threshold.
+  double average_precision = 0.0;
+  int64_t tp = 0, fp = 0;
+  double previous_recall = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    for (size_t k = i; k <= j; ++k) {
+      if (labels[order[k]] > 0.5f) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+    }
+    const double recall = static_cast<double>(tp) /
+                          static_cast<double>(total_positives);
+    const double precision = static_cast<double>(tp) /
+                             static_cast<double>(tp + fp);
+    average_precision += precision * (recall - previous_recall);
+    previous_recall = recall;
+    i = j + 1;
+  }
+  return average_precision;
+}
+
+double Accuracy(const std::vector<float>& scores,
+                const std::vector<float>& labels, float threshold) {
+  return ComputeConfusion(scores, labels, threshold).Accuracy();
+}
+
+double BrierScore(const std::vector<float>& scores,
+                  const std::vector<float>& labels) {
+  HYGNN_CHECK_EQ(scores.size(), labels.size());
+  if (scores.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const double diff = static_cast<double>(scores[i]) - labels[i];
+    total += diff * diff;
+  }
+  return total / static_cast<double>(scores.size());
+}
+
+ThresholdF1 BestF1Threshold(const std::vector<float>& scores,
+                            const std::vector<float>& labels) {
+  HYGNN_CHECK_EQ(scores.size(), labels.size());
+  ThresholdF1 best;
+  if (scores.empty()) return best;
+  // Sweep descending scores; at each distinct score, predicting
+  // positive for everything at or above it.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  int64_t total_positives = 0;
+  for (float label : labels) {
+    if (label > 0.5f) ++total_positives;
+  }
+  int64_t tp = 0, fp = 0;
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    for (size_t k = i; k <= j; ++k) {
+      if (labels[order[k]] > 0.5f) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+    }
+    if (tp > 0) {
+      const double precision =
+          static_cast<double>(tp) / static_cast<double>(tp + fp);
+      const double recall =
+          static_cast<double>(tp) / static_cast<double>(total_positives);
+      const double f1 = 2.0 * precision * recall / (precision + recall);
+      if (f1 > best.f1) {
+        best.f1 = f1;
+        best.threshold = scores[order[i]];
+      }
+    }
+    i = j + 1;
+  }
+  return best;
+}
+
+Aggregate AggregateOf(const std::vector<double>& values) {
+  Aggregate agg;
+  if (values.empty()) return agg;
+  for (double v : values) agg.mean += v;
+  agg.mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - agg.mean) * (v - agg.mean);
+  var /= static_cast<double>(values.size());
+  agg.stddev = std::sqrt(var);
+  return agg;
+}
+
+}  // namespace hygnn::metrics

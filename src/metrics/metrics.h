@@ -1,0 +1,72 @@
+#ifndef HYGNN_METRICS_METRICS_H_
+#define HYGNN_METRICS_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hygnn::metrics {
+
+/// Binary confusion counts at a fixed decision threshold.
+struct ConfusionMatrix {
+  int64_t true_positives = 0;
+  int64_t false_positives = 0;
+  int64_t true_negatives = 0;
+  int64_t false_negatives = 0;
+
+  double Accuracy() const;
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+};
+
+/// Builds the confusion matrix of `scores` vs binary `labels` at
+/// `threshold` (score >= threshold predicts positive).
+ConfusionMatrix ComputeConfusion(const std::vector<float>& scores,
+                                 const std::vector<float>& labels,
+                                 float threshold = 0.5f);
+
+/// F1 at threshold 0.5 — the paper's F1 column.
+double F1Score(const std::vector<float>& scores,
+               const std::vector<float>& labels, float threshold = 0.5f);
+
+/// Area under the ROC curve, computed exactly via the Mann-Whitney U
+/// statistic with tie correction. Returns 0.5 when one class is absent.
+double RocAuc(const std::vector<float>& scores,
+              const std::vector<float>& labels);
+
+/// Area under the precision-recall curve (average precision, step-wise
+/// interpolation — matches sklearn's average_precision_score). Returns
+/// the positive prevalence when all scores tie.
+double PrAuc(const std::vector<float>& scores,
+             const std::vector<float>& labels);
+
+/// Accuracy at the given threshold.
+double Accuracy(const std::vector<float>& scores,
+                const std::vector<float>& labels, float threshold = 0.5f);
+
+/// Brier score: mean squared error between probabilistic scores and
+/// binary labels (lower is better; measures calibration).
+double BrierScore(const std::vector<float>& scores,
+                  const std::vector<float>& labels);
+
+/// The decision threshold maximizing F1, with the F1 it attains.
+struct ThresholdF1 {
+  double threshold = 0.5;
+  double f1 = 0.0;
+};
+
+ThresholdF1 BestF1Threshold(const std::vector<float>& scores,
+                            const std::vector<float>& labels);
+
+/// Mean and (population) standard deviation over repeated runs.
+struct Aggregate {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+Aggregate AggregateOf(const std::vector<double>& values);
+
+}  // namespace hygnn::metrics
+
+#endif  // HYGNN_METRICS_METRICS_H_

@@ -1,0 +1,88 @@
+#include "ml/bitvector.h"
+
+#include <bit>
+
+#include "core/logging.h"
+
+namespace hygnn::ml {
+
+BitVector::BitVector(int32_t num_bits) : num_bits_(num_bits) {
+  HYGNN_CHECK_GE(num_bits, 0);
+  words_.assign((static_cast<size_t>(num_bits) + 63) / 64, 0);
+}
+
+void BitVector::SetBit(int32_t index) {
+  HYGNN_CHECK(index >= 0 && index < num_bits_);
+  words_[static_cast<size_t>(index) / 64] |=
+      uint64_t{1} << (static_cast<size_t>(index) % 64);
+}
+
+bool BitVector::GetBit(int32_t index) const {
+  HYGNN_CHECK(index >= 0 && index < num_bits_);
+  return (words_[static_cast<size_t>(index) / 64] >>
+          (static_cast<size_t>(index) % 64)) &
+         1;
+}
+
+int64_t BitVector::Popcount() const {
+  int64_t count = 0;
+  for (uint64_t w : words_) count += std::popcount(w);
+  return count;
+}
+
+BitVector BitVector::And(const BitVector& other) const {
+  HYGNN_CHECK_EQ(num_bits_, other.num_bits_);
+  BitVector result(num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    result.words_[i] = words_[i] & other.words_[i];
+  }
+  return result;
+}
+
+int64_t BitVector::IntersectionCount(const BitVector& other) const {
+  HYGNN_CHECK_EQ(num_bits_, other.num_bits_);
+  int64_t count = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    count += std::popcount(words_[i] & other.words_[i]);
+  }
+  return count;
+}
+
+int64_t BitVector::UnionCount(const BitVector& other) const {
+  HYGNN_CHECK_EQ(num_bits_, other.num_bits_);
+  int64_t count = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    count += std::popcount(words_[i] | other.words_[i]);
+  }
+  return count;
+}
+
+double BitVector::Jaccard(const BitVector& other) const {
+  const int64_t uni = UnionCount(other);
+  if (uni == 0) return 0.0;
+  return static_cast<double>(IntersectionCount(other)) /
+         static_cast<double>(uni);
+}
+
+std::vector<float> BitVector::ToFloats() const {
+  std::vector<float> dense(static_cast<size_t>(num_bits_), 0.0f);
+  for (int32_t i = 0; i < num_bits_; ++i) {
+    if (GetBit(i)) dense[static_cast<size_t>(i)] = 1.0f;
+  }
+  return dense;
+}
+
+std::vector<BitVector> BuildFunctionalRepresentations(
+    const std::vector<std::vector<int32_t>>& drug_substructures,
+    int32_t num_substructures) {
+  std::vector<BitVector> representations;
+  representations.reserve(drug_substructures.size());
+  for (const auto& substructures : drug_substructures) {
+    BitVector bits(num_substructures);
+    for (int32_t id : substructures) bits.SetBit(id);
+    representations.push_back(std::move(bits));
+  }
+  return representations;
+}
+
+}  // namespace hygnn::ml

@@ -1,0 +1,58 @@
+#ifndef HYGNN_ML_BITVECTOR_H_
+#define HYGNN_ML_BITVECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hygnn::ml {
+
+/// Fixed-width bit vector used for drugs' functional representations
+/// (presence/absence of each vocabulary substructure) and their
+/// pairwise AND combinations.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(int32_t num_bits);
+
+  int32_t num_bits() const { return num_bits_; }
+
+  void SetBit(int32_t index);
+  bool GetBit(int32_t index) const;
+
+  /// Number of set bits.
+  int64_t Popcount() const;
+
+  /// Bitwise AND (paper §IV-B group 4: pair feature = a AND b).
+  BitVector And(const BitVector& other) const;
+
+  /// |a AND b| without materializing the AND.
+  int64_t IntersectionCount(const BitVector& other) const;
+
+  /// |a OR b|.
+  int64_t UnionCount(const BitVector& other) const;
+
+  /// Jaccard similarity |a&b| / |a|b|; 0 when both empty.
+  double Jaccard(const BitVector& other) const;
+
+  /// Expands to a dense 0/1 float vector (classifier input).
+  std::vector<float> ToFloats() const;
+
+  bool operator==(const BitVector& other) const {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+
+ private:
+  int32_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Builds the functional representation of each drug: bit i is set iff
+/// vocabulary substructure i occurs in the drug (following CASTER's
+/// functional representation).
+std::vector<BitVector> BuildFunctionalRepresentations(
+    const std::vector<std::vector<int32_t>>& drug_substructures,
+    int32_t num_substructures);
+
+}  // namespace hygnn::ml
+
+#endif  // HYGNN_ML_BITVECTOR_H_

@@ -1,0 +1,39 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace hygnn::ml {
+
+KnnClassifier::KnnClassifier(int32_t k) : k_(k) { HYGNN_CHECK_GT(k, 0); }
+
+void KnnClassifier::Fit(std::vector<BitVector> features,
+                        std::vector<float> labels) {
+  HYGNN_CHECK_EQ(features.size(), labels.size());
+  HYGNN_CHECK(!features.empty());
+  features_ = std::move(features);
+  labels_ = std::move(labels);
+}
+
+float KnnClassifier::PredictScore(const BitVector& feature) const {
+  HYGNN_CHECK(!features_.empty()) << "Fit must be called first";
+  const size_t k = std::min<size_t>(static_cast<size_t>(k_),
+                                    features_.size());
+  // Partial selection of the k most similar training samples.
+  std::vector<std::pair<double, size_t>> similarity(features_.size());
+  for (size_t i = 0; i < features_.size(); ++i) {
+    similarity[i] = {feature.Jaccard(features_[i]), i};
+  }
+  std::partial_sort(similarity.begin(), similarity.begin() + k,
+                    similarity.end(), [](const auto& a, const auto& b) {
+                      return a.first > b.first;
+                    });
+  float positives = 0.0f;
+  for (size_t i = 0; i < k; ++i) {
+    positives += labels_[similarity[i].second];
+  }
+  return positives / static_cast<float>(k);
+}
+
+}  // namespace hygnn::ml

@@ -1,0 +1,33 @@
+#ifndef HYGNN_ML_KNN_H_
+#define HYGNN_ML_KNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/bitvector.h"
+
+namespace hygnn::ml {
+
+/// k-nearest-neighbours classifier over bit-vector features with
+/// Jaccard similarity (the natural metric for substructure presence
+/// vectors). Prediction score is the positive fraction among the k
+/// most similar training samples, which gives graded scores for
+/// ROC/PR computation.
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(int32_t k = 5);
+
+  void Fit(std::vector<BitVector> features, std::vector<float> labels);
+
+  /// Score in [0, 1]: fraction of positive neighbours.
+  float PredictScore(const BitVector& feature) const;
+
+ private:
+  int32_t k_;
+  std::vector<BitVector> features_;
+  std::vector<float> labels_;
+};
+
+}  // namespace hygnn::ml
+
+#endif  // HYGNN_ML_KNN_H_

@@ -1,0 +1,76 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace hygnn::ml {
+
+namespace {
+float StableSigmoid(float x) {
+  if (x >= 0.0f) {
+    const float e = std::exp(-x);
+    return 1.0f / (1.0f + e);
+  }
+  const float e = std::exp(x);
+  return e / (1.0f + e);
+}
+}  // namespace
+
+LogisticRegression::LogisticRegression(
+    const LogisticRegressionConfig& config)
+    : config_(config) {}
+
+void LogisticRegression::Fit(const std::vector<std::vector<float>>& features,
+                             const std::vector<float>& labels,
+                             core::Rng* rng) {
+  HYGNN_CHECK(!features.empty());
+  HYGNN_CHECK_EQ(features.size(), labels.size());
+  HYGNN_CHECK(rng != nullptr);
+  const size_t dim = features[0].size();
+  weights_.assign(dim, 0.0f);
+  bias_ = 0.0f;
+
+  std::vector<size_t> order(features.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<float> grad(dim, 0.0f);
+  for (int32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng->Shuffle(order);
+    for (size_t begin = 0; begin < order.size();
+         begin += static_cast<size_t>(config_.batch_size)) {
+      const size_t end = std::min(
+          order.size(), begin + static_cast<size_t>(config_.batch_size));
+      std::fill(grad.begin(), grad.end(), 0.0f);
+      float grad_bias = 0.0f;
+      for (size_t i = begin; i < end; ++i) {
+        const auto& x = features[order[i]];
+        HYGNN_CHECK_EQ(x.size(), dim);
+        float z = bias_;
+        for (size_t j = 0; j < dim; ++j) z += weights_[j] * x[j];
+        const float error = StableSigmoid(z) - labels[order[i]];
+        for (size_t j = 0; j < dim; ++j) grad[j] += error * x[j];
+        grad_bias += error;
+      }
+      const float scale =
+          config_.learning_rate / static_cast<float>(end - begin);
+      for (size_t j = 0; j < dim; ++j) {
+        weights_[j] -= scale * grad[j] +
+                       config_.learning_rate * config_.l2 * weights_[j];
+      }
+      bias_ -= scale * grad_bias;
+    }
+  }
+}
+
+float LogisticRegression::PredictProbability(
+    const std::vector<float>& feature) const {
+  HYGNN_CHECK_EQ(feature.size(), weights_.size());
+  float z = bias_;
+  for (size_t j = 0; j < feature.size(); ++j) {
+    z += weights_[j] * feature[j];
+  }
+  return StableSigmoid(z);
+}
+
+}  // namespace hygnn::ml

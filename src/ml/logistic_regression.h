@@ -1,0 +1,42 @@
+#ifndef HYGNN_ML_LOGISTIC_REGRESSION_H_
+#define HYGNN_ML_LOGISTIC_REGRESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace hygnn::ml {
+
+/// Binary logistic regression trained by mini-batch gradient descent
+/// with L2 regularization.
+struct LogisticRegressionConfig {
+  int32_t epochs = 300;
+  float learning_rate = 0.5f;
+  float l2 = 1e-4f;
+  int32_t batch_size = 256;
+};
+
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(const LogisticRegressionConfig& config = {});
+
+  /// Fits on dense feature rows (all the same length) and 0/1 labels.
+  void Fit(const std::vector<std::vector<float>>& features,
+           const std::vector<float>& labels, core::Rng* rng);
+
+  /// P(label = 1 | feature).
+  float PredictProbability(const std::vector<float>& feature) const;
+
+  const std::vector<float>& weights() const { return weights_; }
+  float bias() const { return bias_; }
+
+ private:
+  LogisticRegressionConfig config_;
+  std::vector<float> weights_;
+  float bias_ = 0.0f;
+};
+
+}  // namespace hygnn::ml
+
+#endif  // HYGNN_ML_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,27 @@
+#include "nn/linear.h"
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace hygnn::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, bool use_bias,
+               core::Rng* rng)
+    : weight_(tensor::XavierUniform(in_features, out_features, rng)) {
+  if (use_bias) {
+    bias_ = tensor::Tensor::Zeros(1, out_features, /*requires_grad=*/true);
+  }
+}
+
+tensor::Tensor Linear::Forward(const tensor::Tensor& x) const {
+  tensor::Tensor out = tensor::MatMul(x, weight_);
+  if (bias_.defined()) out = tensor::AddRowBroadcast(out, bias_);
+  return out;
+}
+
+std::vector<tensor::Tensor> Linear::Parameters() const {
+  if (bias_.defined()) return {weight_, bias_};
+  return {weight_};
+}
+
+}  // namespace hygnn::nn

@@ -1,0 +1,37 @@
+#ifndef HYGNN_NN_MLP_H_
+#define HYGNN_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace hygnn::nn {
+
+/// Multi-layer perceptron with ReLU activations between layers (the
+/// paper's decoder/classifier activation) and a linear final layer.
+class Mlp : public Module {
+ public:
+  /// `dims` = {in, hidden..., out}; must have >= 2 entries.
+  Mlp(const std::vector<int64_t>& dims, core::Rng* rng,
+      float dropout = 0.0f);
+
+  /// Forward pass; dropout is active only when `training`.
+  tensor::Tensor Forward(const tensor::Tensor& x, bool training,
+                         core::Rng* rng) const;
+
+  /// Inference-mode forward (no dropout).
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  std::vector<tensor::Tensor> Parameters() const override;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  float dropout_;
+};
+
+}  // namespace hygnn::nn
+
+#endif  // HYGNN_NN_MLP_H_

@@ -1,0 +1,15 @@
+#include "nn/module.h"
+
+namespace hygnn::nn {
+
+std::vector<tensor::Tensor> CollectParameters(
+    const std::vector<const Module*>& modules) {
+  std::vector<tensor::Tensor> parameters;
+  for (const Module* module : modules) {
+    auto params = module->Parameters();
+    parameters.insert(parameters.end(), params.begin(), params.end());
+  }
+  return parameters;
+}
+
+}  // namespace hygnn::nn

@@ -1,0 +1,662 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/logging.h"
+
+namespace hygnn::tensor {
+
+namespace {
+
+/// Allocates the output node for a unary/binary op and wires parents.
+std::shared_ptr<TensorImpl> MakeOutput(
+    int64_t rows, int64_t cols,
+    std::vector<std::shared_ptr<TensorImpl>> parents) {
+  auto out = std::make_shared<TensorImpl>();
+  out->rows = rows;
+  out->cols = cols;
+  out->data.assign(static_cast<size_t>(rows * cols), 0.0f);
+  out->requires_grad = false;
+  for (const auto& p : parents) {
+    if (p->requires_grad) out->requires_grad = true;
+  }
+  if (out->requires_grad) out->parents = std::move(parents);
+  return out;
+}
+
+bool NeedsGrad(const std::shared_ptr<TensorImpl>& node) {
+  return node->requires_grad;
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  HYGNN_CHECK(a.defined() && b.defined());
+  HYGNN_CHECK_EQ(a.cols(), b.rows());
+  const int64_t n = a.rows(), k = a.cols(), m = b.cols();
+  auto ai = a.impl(), bi = b.impl();
+  auto out = MakeOutput(n, m, {ai, bi});
+  // ikj loop order for cache-friendly row-major access.
+  const float* A = ai->data.data();
+  const float* B = bi->data.data();
+  float* C = out->data.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = A[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = B + kk * m;
+      float* crow = C + i * m;
+      for (int64_t j = 0; j < m; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  if (out->requires_grad) {
+    TensorImpl* oi = out.get();
+    out->backward_fn = [ai, bi, oi, n, k, m]() {
+      if (oi->grad.empty()) return;
+      const float* G = oi->grad.data();
+      if (NeedsGrad(ai)) {
+        ai->EnsureGrad();
+        // dA = G * B^T : dA[i,kk] += sum_j G[i,j] * B[kk,j]
+        const float* B = bi->data.data();
+        float* dA = ai->grad.data();
+        for (int64_t i = 0; i < n; ++i) {
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const float* grow = G + i * m;
+            const float* brow = B + kk * m;
+            float acc = 0.0f;
+            for (int64_t j = 0; j < m; ++j) acc += grow[j] * brow[j];
+            dA[i * k + kk] += acc;
+          }
+        }
+      }
+      if (NeedsGrad(bi)) {
+        bi->EnsureGrad();
+        // dB = A^T * G : dB[kk,j] += sum_i A[i,kk] * G[i,j]
+        const float* A = ai->data.data();
+        float* dB = bi->grad.data();
+        for (int64_t i = 0; i < n; ++i) {
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const float aik = A[i * k + kk];
+            if (aik == 0.0f) continue;
+            const float* grow = G + i * m;
+            float* drow = dB + kk * m;
+            for (int64_t j = 0; j < m; ++j) drow[j] += aik * grow[j];
+          }
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  HYGNN_CHECK(a.defined() && b.defined());
+  HYGNN_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  auto ai = a.impl(), bi = b.impl();
+  auto out = MakeOutput(a.rows(), a.cols(), {ai, bi});
+  const int64_t total = out->size();
+  for (int64_t i = 0; i < total; ++i) {
+    out->data[i] = ai->data[i] + bi->data[i];
+  }
+  if (out->requires_grad) {
+    TensorImpl* oi = out.get();
+    out->backward_fn = [ai, bi, oi, total]() {
+      if (oi->grad.empty()) return;
+      if (NeedsGrad(ai)) {
+        ai->EnsureGrad();
+        for (int64_t i = 0; i < total; ++i) ai->grad[i] += oi->grad[i];
+      }
+      if (NeedsGrad(bi)) {
+        bi->EnsureGrad();
+        for (int64_t i = 0; i < total; ++i) bi->grad[i] += oi->grad[i];
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias) {
+  HYGNN_CHECK(x.defined() && bias.defined());
+  HYGNN_CHECK_EQ(bias.rows(), 1);
+  HYGNN_CHECK_EQ(bias.cols(), x.cols());
+  auto xi = x.impl(), bi = bias.impl();
+  const int64_t n = x.rows(), d = x.cols();
+  auto out = MakeOutput(n, d, {xi, bi});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      out->data[i * d + j] = xi->data[i * d + j] + bi->data[j];
+    }
+  }
+  if (out->requires_grad) {
+    TensorImpl* oi = out.get();
+    out->backward_fn = [xi, bi, oi, n, d]() {
+      if (oi->grad.empty()) return;
+      if (NeedsGrad(xi)) {
+        xi->EnsureGrad();
+        const int64_t total = n * d;
+        for (int64_t i = 0; i < total; ++i) xi->grad[i] += oi->grad[i];
+      }
+      if (NeedsGrad(bi)) {
+        bi->EnsureGrad();
+        for (int64_t i = 0; i < n; ++i) {
+          for (int64_t j = 0; j < d; ++j) bi->grad[j] += oi->grad[i * d + j];
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  HYGNN_CHECK(a.defined() && b.defined());
+  HYGNN_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  auto ai = a.impl(), bi = b.impl();
+  auto out = MakeOutput(a.rows(), a.cols(), {ai, bi});
+  const int64_t total = out->size();
+  for (int64_t i = 0; i < total; ++i) {
+    out->data[i] = ai->data[i] - bi->data[i];
+  }
+  if (out->requires_grad) {
+    TensorImpl* oi = out.get();
+    out->backward_fn = [ai, bi, oi, total]() {
+      if (oi->grad.empty()) return;
+      if (NeedsGrad(ai)) {
+        ai->EnsureGrad();
+        for (int64_t i = 0; i < total; ++i) ai->grad[i] += oi->grad[i];
+      }
+      if (NeedsGrad(bi)) {
+        bi->EnsureGrad();
+        for (int64_t i = 0; i < total; ++i) bi->grad[i] -= oi->grad[i];
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  HYGNN_CHECK(a.defined() && b.defined());
+  HYGNN_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  auto ai = a.impl(), bi = b.impl();
+  auto out = MakeOutput(a.rows(), a.cols(), {ai, bi});
+  const int64_t total = out->size();
+  for (int64_t i = 0; i < total; ++i) {
+    out->data[i] = ai->data[i] * bi->data[i];
+  }
+  if (out->requires_grad) {
+    TensorImpl* oi = out.get();
+    out->backward_fn = [ai, bi, oi, total]() {
+      if (oi->grad.empty()) return;
+      if (NeedsGrad(ai)) {
+        ai->EnsureGrad();
+        for (int64_t i = 0; i < total; ++i) {
+          ai->grad[i] += oi->grad[i] * bi->data[i];
+        }
+      }
+      if (NeedsGrad(bi)) {
+        bi->EnsureGrad();
+        for (int64_t i = 0; i < total; ++i) {
+          bi->grad[i] += oi->grad[i] * ai->data[i];
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor Scale(const Tensor& x, float s) {
+  HYGNN_CHECK(x.defined());
+  auto xi = x.impl();
+  auto out = MakeOutput(x.rows(), x.cols(), {xi});
+  const int64_t total = out->size();
+  for (int64_t i = 0; i < total; ++i) out->data[i] = xi->data[i] * s;
+  if (out->requires_grad) {
+    TensorImpl* oi = out.get();
+    out->backward_fn = [xi, oi, s, total]() {
+      if (oi->grad.empty()) return;
+      xi->EnsureGrad();
+      for (int64_t i = 0; i < total; ++i) xi->grad[i] += oi->grad[i] * s;
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor MulColumnBroadcast(const Tensor& x, const Tensor& w) {
+  HYGNN_CHECK(x.defined() && w.defined());
+  HYGNN_CHECK_EQ(w.cols(), 1);
+  HYGNN_CHECK_EQ(w.rows(), x.rows());
+  auto xi = x.impl(), wi = w.impl();
+  const int64_t n = x.rows(), d = x.cols();
+  auto out = MakeOutput(n, d, {xi, wi});
+  for (int64_t i = 0; i < n; ++i) {
+    const float wv = wi->data[i];
+    for (int64_t j = 0; j < d; ++j) {
+      out->data[i * d + j] = xi->data[i * d + j] * wv;
+    }
+  }
+  if (out->requires_grad) {
+    TensorImpl* oi = out.get();
+    out->backward_fn = [xi, wi, oi, n, d]() {
+      if (oi->grad.empty()) return;
+      if (NeedsGrad(xi)) {
+        xi->EnsureGrad();
+        for (int64_t i = 0; i < n; ++i) {
+          const float wv = wi->data[i];
+          for (int64_t j = 0; j < d; ++j) {
+            xi->grad[i * d + j] += oi->grad[i * d + j] * wv;
+          }
+        }
+      }
+      if (NeedsGrad(wi)) {
+        wi->EnsureGrad();
+        for (int64_t i = 0; i < n; ++i) {
+          float acc = 0.0f;
+          for (int64_t j = 0; j < d; ++j) {
+            acc += oi->grad[i * d + j] * xi->data[i * d + j];
+          }
+          wi->grad[i] += acc;
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  HYGNN_CHECK(a.defined() && b.defined());
+  HYGNN_CHECK_EQ(a.rows(), b.rows());
+  auto ai = a.impl(), bi = b.impl();
+  const int64_t n = a.rows(), d1 = a.cols(), d2 = b.cols();
+  auto out = MakeOutput(n, d1 + d2, {ai, bi});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d1; ++j) {
+      out->data[i * (d1 + d2) + j] = ai->data[i * d1 + j];
+    }
+    for (int64_t j = 0; j < d2; ++j) {
+      out->data[i * (d1 + d2) + d1 + j] = bi->data[i * d2 + j];
+    }
+  }
+  if (out->requires_grad) {
+    TensorImpl* oi = out.get();
+    out->backward_fn = [ai, bi, oi, n, d1, d2]() {
+      if (oi->grad.empty()) return;
+      if (NeedsGrad(ai)) {
+        ai->EnsureGrad();
+        for (int64_t i = 0; i < n; ++i) {
+          for (int64_t j = 0; j < d1; ++j) {
+            ai->grad[i * d1 + j] += oi->grad[i * (d1 + d2) + j];
+          }
+        }
+      }
+      if (NeedsGrad(bi)) {
+        bi->EnsureGrad();
+        for (int64_t i = 0; i < n; ++i) {
+          for (int64_t j = 0; j < d2; ++j) {
+            bi->grad[i * d2 + j] += oi->grad[i * (d1 + d2) + d1 + j];
+          }
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor IndexSelectRows(const Tensor& x, const std::vector<int32_t>& indices) {
+  HYGNN_CHECK(x.defined());
+  auto xi = x.impl();
+  const int64_t n = static_cast<int64_t>(indices.size());
+  const int64_t d = x.cols();
+  HYGNN_CHECK_GT(n, 0);
+  for (int32_t idx : indices) {
+    HYGNN_CHECK(idx >= 0 && idx < x.rows());
+  }
+  auto out = MakeOutput(n, d, {xi});
+  for (int64_t i = 0; i < n; ++i) {
+    const float* src = xi->data.data() + static_cast<int64_t>(indices[i]) * d;
+    float* dst = out->data.data() + i * d;
+    for (int64_t j = 0; j < d; ++j) dst[j] = src[j];
+  }
+  if (out->requires_grad) {
+    TensorImpl* oi = out.get();
+    auto idx_copy = indices;
+    out->backward_fn = [xi, oi, idx_copy, n, d]() {
+      if (oi->grad.empty()) return;
+      xi->EnsureGrad();
+      for (int64_t i = 0; i < n; ++i) {
+        float* dst = xi->grad.data() + static_cast<int64_t>(idx_copy[i]) * d;
+        const float* src = oi->grad.data() + i * d;
+        for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor SegmentSoftmax(const Tensor& scores,
+                      const std::vector<int32_t>& segment_ids,
+                      int64_t num_segments) {
+  HYGNN_CHECK(scores.defined());
+  HYGNN_CHECK_EQ(scores.cols(), 1);
+  HYGNN_CHECK_EQ(scores.rows(), static_cast<int64_t>(segment_ids.size()));
+  const int64_t n = scores.rows();
+  auto si = scores.impl();
+  auto out = MakeOutput(n, 1, {si});
+
+  std::vector<float> seg_max(static_cast<size_t>(num_segments),
+                             -std::numeric_limits<float>::infinity());
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t s = segment_ids[i];
+    HYGNN_CHECK(s >= 0 && s < num_segments);
+    seg_max[s] = std::max(seg_max[s], si->data[i]);
+  }
+  std::vector<float> seg_sum(static_cast<size_t>(num_segments), 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t s = segment_ids[i];
+    out->data[i] = std::exp(si->data[i] - seg_max[s]);
+    seg_sum[s] += out->data[i];
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    const float denom = seg_sum[segment_ids[i]];
+    out->data[i] = denom > 0.0f ? out->data[i] / denom : 0.0f;
+  }
+
+  if (out->requires_grad) {
+    TensorImpl* oi = out.get();
+    auto seg_copy = segment_ids;
+    out->backward_fn = [si, oi, seg_copy, n, num_segments]() {
+      if (oi->grad.empty()) return;
+      si->EnsureGrad();
+      // d s_i = y_i * (g_i - sum_{j in seg} g_j y_j)
+      std::vector<float> seg_dot(static_cast<size_t>(num_segments), 0.0f);
+      for (int64_t i = 0; i < n; ++i) {
+        seg_dot[seg_copy[i]] += oi->grad[i] * oi->data[i];
+      }
+      for (int64_t i = 0; i < n; ++i) {
+        si->grad[i] += oi->data[i] * (oi->grad[i] - seg_dot[seg_copy[i]]);
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor SegmentSum(const Tensor& x, const std::vector<int32_t>& segment_ids,
+                  int64_t num_segments) {
+  HYGNN_CHECK(x.defined());
+  HYGNN_CHECK_EQ(x.rows(), static_cast<int64_t>(segment_ids.size()));
+  const int64_t n = x.rows(), d = x.cols();
+  auto xi = x.impl();
+  auto out = MakeOutput(num_segments, d, {xi});
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t s = segment_ids[i];
+    HYGNN_CHECK(s >= 0 && s < num_segments);
+    const float* src = xi->data.data() + i * d;
+    float* dst = out->data.data() + static_cast<int64_t>(s) * d;
+    for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+  }
+  if (out->requires_grad) {
+    TensorImpl* oi = out.get();
+    auto seg_copy = segment_ids;
+    out->backward_fn = [xi, oi, seg_copy, n, d]() {
+      if (oi->grad.empty()) return;
+      xi->EnsureGrad();
+      for (int64_t i = 0; i < n; ++i) {
+        const float* src =
+            oi->grad.data() + static_cast<int64_t>(seg_copy[i]) * d;
+        float* dst = xi->grad.data() + i * d;
+        for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor RowwiseDot(const Tensor& a, const Tensor& b) {
+  HYGNN_CHECK(a.defined() && b.defined());
+  HYGNN_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  const int64_t n = a.rows(), d = a.cols();
+  auto ai = a.impl(), bi = b.impl();
+  auto out = MakeOutput(n, 1, {ai, bi});
+  for (int64_t i = 0; i < n; ++i) {
+    float acc = 0.0f;
+    for (int64_t j = 0; j < d; ++j) {
+      acc += ai->data[i * d + j] * bi->data[i * d + j];
+    }
+    out->data[i] = acc;
+  }
+  if (out->requires_grad) {
+    TensorImpl* oi = out.get();
+    out->backward_fn = [ai, bi, oi, n, d]() {
+      if (oi->grad.empty()) return;
+      if (NeedsGrad(ai)) {
+        ai->EnsureGrad();
+        for (int64_t i = 0; i < n; ++i) {
+          const float g = oi->grad[i];
+          for (int64_t j = 0; j < d; ++j) {
+            ai->grad[i * d + j] += g * bi->data[i * d + j];
+          }
+        }
+      }
+      if (NeedsGrad(bi)) {
+        bi->EnsureGrad();
+        for (int64_t i = 0; i < n; ++i) {
+          const float g = oi->grad[i];
+          for (int64_t j = 0; j < d; ++j) {
+            bi->grad[i * d + j] += g * ai->data[i * d + j];
+          }
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor ReduceSum(const Tensor& x) {
+  HYGNN_CHECK(x.defined());
+  auto xi = x.impl();
+  auto out = MakeOutput(1, 1, {xi});
+  const int64_t total = xi->size();
+  float acc = 0.0f;
+  for (int64_t i = 0; i < total; ++i) acc += xi->data[i];
+  out->data[0] = acc;
+  if (out->requires_grad) {
+    TensorImpl* oi = out.get();
+    out->backward_fn = [xi, oi, total]() {
+      if (oi->grad.empty()) return;
+      xi->EnsureGrad();
+      const float g = oi->grad[0];
+      for (int64_t i = 0; i < total; ++i) xi->grad[i] += g;
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor ReduceMean(const Tensor& x) {
+  const float inv = 1.0f / static_cast<float>(x.size());
+  return Scale(ReduceSum(x), inv);
+}
+
+namespace {
+
+/// Shared implementation for elementwise unary ops. `fwd` maps x->y,
+/// `dydx` maps (x, y)->dy/dx.
+template <typename Fwd, typename Dydx>
+Tensor UnaryOp(const Tensor& x, Fwd fwd, Dydx dydx) {
+  HYGNN_CHECK(x.defined());
+  auto xi = x.impl();
+  auto out = MakeOutput(x.rows(), x.cols(), {xi});
+  const int64_t total = out->size();
+  for (int64_t i = 0; i < total; ++i) out->data[i] = fwd(xi->data[i]);
+  if (out->requires_grad) {
+    TensorImpl* oi = out.get();
+    out->backward_fn = [xi, oi, dydx, total]() {
+      if (oi->grad.empty()) return;
+      xi->EnsureGrad();
+      for (int64_t i = 0; i < total; ++i) {
+        xi->grad[i] += oi->grad[i] * dydx(xi->data[i], oi->data[i]);
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+}  // namespace
+
+Tensor Relu(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& x, float slope) {
+  return UnaryOp(
+      x, [slope](float v) { return v >= 0.0f ? v : slope * v; },
+      [slope](float v, float) { return v >= 0.0f ? 1.0f : slope; });
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  return UnaryOp(
+      x,
+      [](float v) {
+        if (v >= 0.0f) {
+          const float z = std::exp(-v);
+          return 1.0f / (1.0f + z);
+        }
+        const float z = std::exp(v);
+        return z / (1.0f + z);
+      },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& x) {
+  return UnaryOp(x, [](float v) { return std::tanh(v); },
+                 [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Exp(const Tensor& x) {
+  return UnaryOp(x, [](float v) { return std::exp(v); },
+                 [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& x, float eps) {
+  return UnaryOp(
+      x, [eps](float v) { return std::log(std::max(v, eps)); },
+      [eps](float v, float) { return 1.0f / std::max(v, eps); });
+}
+
+Tensor Dropout(const Tensor& x, float p, bool training, core::Rng* rng) {
+  HYGNN_CHECK(x.defined());
+  HYGNN_CHECK(p >= 0.0f && p < 1.0f);
+  if (!training || p == 0.0f) return x;
+  HYGNN_CHECK(rng != nullptr);
+  auto xi = x.impl();
+  auto out = MakeOutput(x.rows(), x.cols(), {xi});
+  const int64_t total = out->size();
+  const float keep_scale = 1.0f / (1.0f - p);
+  auto mask = std::make_shared<std::vector<float>>(total, 0.0f);
+  for (int64_t i = 0; i < total; ++i) {
+    if (!rng->Bernoulli(p)) (*mask)[i] = keep_scale;
+    out->data[i] = xi->data[i] * (*mask)[i];
+  }
+  if (out->requires_grad) {
+    TensorImpl* oi = out.get();
+    out->backward_fn = [xi, oi, mask, total]() {
+      if (oi->grad.empty()) return;
+      xi->EnsureGrad();
+      for (int64_t i = 0; i < total; ++i) {
+        xi->grad[i] += oi->grad[i] * (*mask)[i];
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor L2NormalizeRows(const Tensor& x, float eps) {
+  HYGNN_CHECK(x.defined());
+  auto xi = x.impl();
+  const int64_t n = x.rows(), d = x.cols();
+  auto out = MakeOutput(n, d, {xi});
+  auto norms = std::make_shared<std::vector<float>>(n, 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    float acc = 0.0f;
+    for (int64_t j = 0; j < d; ++j) {
+      const float v = xi->data[i * d + j];
+      acc += v * v;
+    }
+    (*norms)[i] = std::max(std::sqrt(acc), eps);
+    const float inv = 1.0f / (*norms)[i];
+    for (int64_t j = 0; j < d; ++j) {
+      out->data[i * d + j] = xi->data[i * d + j] * inv;
+    }
+  }
+  if (out->requires_grad) {
+    TensorImpl* oi = out.get();
+    out->backward_fn = [xi, oi, norms, n, d]() {
+      if (oi->grad.empty()) return;
+      xi->EnsureGrad();
+      // d x_i = (g_i - y_i * (g_i . y_i)) / ||x_i||
+      for (int64_t i = 0; i < n; ++i) {
+        float dot = 0.0f;
+        for (int64_t j = 0; j < d; ++j) {
+          dot += oi->grad[i * d + j] * oi->data[i * d + j];
+        }
+        const float inv = 1.0f / (*norms)[i];
+        for (int64_t j = 0; j < d; ++j) {
+          xi->grad[i * d + j] +=
+              (oi->grad[i * d + j] - oi->data[i * d + j] * dot) * inv;
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor RowSoftmax(const Tensor& x) {
+  HYGNN_CHECK(x.defined());
+  const int64_t n = x.rows(), k = x.cols();
+  auto xi = x.impl();
+  auto out = MakeOutput(n, k, {xi});
+  for (int64_t i = 0; i < n; ++i) {
+    float row_max = -std::numeric_limits<float>::infinity();
+    for (int64_t j = 0; j < k; ++j) {
+      row_max = std::max(row_max, xi->data[i * k + j]);
+    }
+    float denom = 0.0f;
+    for (int64_t j = 0; j < k; ++j) {
+      out->data[i * k + j] = std::exp(xi->data[i * k + j] - row_max);
+      denom += out->data[i * k + j];
+    }
+    for (int64_t j = 0; j < k; ++j) out->data[i * k + j] /= denom;
+  }
+  if (out->requires_grad) {
+    TensorImpl* oi = out.get();
+    out->backward_fn = [xi, oi, n, k]() {
+      if (oi->grad.empty()) return;
+      xi->EnsureGrad();
+      for (int64_t i = 0; i < n; ++i) {
+        float dot = 0.0f;
+        for (int64_t j = 0; j < k; ++j) {
+          dot += oi->grad[i * k + j] * oi->data[i * k + j];
+        }
+        for (int64_t j = 0; j < k; ++j) {
+          xi->grad[i * k + j] +=
+              oi->data[i * k + j] * (oi->grad[i * k + j] - dot);
+        }
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor TransposeNoGrad(const Tensor& x) {
+  HYGNN_CHECK(x.defined());
+  const int64_t n = x.rows(), d = x.cols();
+  Tensor out = Tensor::Zeros(d, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      out.Set(j, i, x.At(i, j));
+    }
+  }
+  return out;
+}
+
+}  // namespace hygnn::tensor

@@ -1,0 +1,92 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace hygnn::tensor {
+
+Optimizer::Optimizer(std::vector<Tensor> parameters)
+    : parameters_(std::move(parameters)) {
+  for (const auto& p : parameters_) {
+    HYGNN_CHECK(p.defined());
+    HYGNN_CHECK(p.requires_grad());
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : parameters_) p.ZeroGrad();
+}
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  double total_sq = 0.0;
+  for (auto& p : parameters_) {
+    if (!p.has_grad()) continue;
+    const float* g = p.grad();
+    for (int64_t i = 0; i < p.size(); ++i) {
+      total_sq += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto& p : parameters_) {
+      if (!p.has_grad()) continue;
+      float* g = p.grad();
+      for (int64_t i = 0; i < p.size(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Tensor> parameters, float lr, float weight_decay)
+    : Optimizer(std::move(parameters)), lr_(lr), weight_decay_(weight_decay) {}
+
+void Sgd::Step() {
+  for (auto& p : parameters_) {
+    if (!p.has_grad()) continue;
+    float* w = p.data();
+    const float* g = p.grad();
+    for (int64_t i = 0; i < p.size(); ++i) {
+      w[i] -= lr_ * (g[i] + weight_decay_ * w[i]);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> parameters, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(parameters)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(parameters_.size());
+  v_.resize(parameters_.size());
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    m_[i].assign(static_cast<size_t>(parameters_[i].size()), 0.0f);
+    v_[i].assign(static_cast<size_t>(parameters_[i].size()), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t pi = 0; pi < parameters_.size(); ++pi) {
+    auto& p = parameters_[pi];
+    if (!p.has_grad()) continue;
+    float* w = p.data();
+    const float* g = p.grad();
+    for (int64_t i = 0; i < p.size(); ++i) {
+      const float grad = g[i] + weight_decay_ * w[i];
+      m_[pi][i] = beta1_ * m_[pi][i] + (1.0f - beta1_) * grad;
+      v_[pi][i] = beta2_ * v_[pi][i] + (1.0f - beta2_) * grad * grad;
+      const float m_hat = m_[pi][i] / bias1;
+      const float v_hat = v_[pi][i] / bias2;
+      w[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace hygnn::tensor

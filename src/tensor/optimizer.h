@@ -1,0 +1,67 @@
+#ifndef HYGNN_TENSOR_OPTIMIZER_H_
+#define HYGNN_TENSOR_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hygnn::tensor {
+
+/// Base class for first-order optimizers over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> parameters);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the gradients currently stored on the
+  /// parameters. Parameters with no accumulated gradient are skipped.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients. Call between optimization steps.
+  void ZeroGrad();
+
+  /// Scales gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clipping norm.
+  float ClipGradNorm(float max_norm);
+
+  const std::vector<Tensor>& parameters() const { return parameters_; }
+
+ protected:
+  std::vector<Tensor> parameters_;
+};
+
+/// Stochastic gradient descent with optional L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> parameters, float lr, float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba). Defaults follow the paper:
+/// beta1=0.9, beta2=0.999, eps=1e-8. The HyGNN paper trains with Adam at
+/// lr = 0.01.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> parameters, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;  // first moment per parameter
+  std::vector<std::vector<float>> v_;  // second moment per parameter
+};
+
+}  // namespace hygnn::tensor
+
+#endif  // HYGNN_TENSOR_OPTIMIZER_H_

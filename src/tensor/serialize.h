@@ -1,0 +1,32 @@
+#ifndef HYGNN_TENSOR_SERIALIZE_H_
+#define HYGNN_TENSOR_SERIALIZE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+#include "tensor/tensor.h"
+
+namespace hygnn::tensor {
+
+/// Writes named tensors to a binary file (little-endian, versioned
+/// header). Used for model checkpointing.
+core::Status SaveTensors(
+    const std::vector<std::pair<std::string, Tensor>>& named_tensors,
+    const std::string& path);
+
+/// Reads a file written by SaveTensors. Loaded tensors are leaves with
+/// requires_grad = false.
+core::Result<std::vector<std::pair<std::string, Tensor>>> LoadTensors(
+    const std::string& path);
+
+/// Copies loaded values into existing parameters by position; fails on
+/// count or shape mismatch. Gradients and optimizer state are untouched.
+core::Status RestoreParameters(
+    const std::vector<std::pair<std::string, Tensor>>& loaded,
+    std::vector<Tensor>* parameters);
+
+}  // namespace hygnn::tensor
+
+#endif  // HYGNN_TENSOR_SERIALIZE_H_

@@ -1,0 +1,54 @@
+#ifndef HYGNN_TENSOR_SPARSE_H_
+#define HYGNN_TENSOR_SPARSE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hygnn::tensor {
+
+/// Compressed-sparse-row matrix with float values. Used for graph
+/// adjacency/propagation matrices (e.g. the symmetric-normalized
+/// adjacency of GCN). Immutable after construction.
+class CsrMatrix {
+ public:
+  /// Builds from COO triplets. Duplicate (row, col) entries are summed.
+  static std::shared_ptr<CsrMatrix> FromCoo(
+      int64_t rows, int64_t cols, const std::vector<int32_t>& row_indices,
+      const std::vector<int32_t>& col_indices,
+      const std::vector<float>& values);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(col_idx_.size()); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int32_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  /// Lazily-built, cached transpose (thread-unsafe lazy init; fine for the
+  /// single-threaded training loops in this library).
+  std::shared_ptr<const CsrMatrix> Transpose() const;
+
+  /// Dense product y = A * x without autograd, x is [cols, d].
+  void MultiplyInto(const float* x, int64_t d, float* y) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int32_t> col_idx_;
+  std::vector<float> values_;
+  mutable std::shared_ptr<const CsrMatrix> transpose_cache_;
+};
+
+/// Autograd-aware sparse-dense product: out = A * x, where A is
+/// [n, m] CSR and x is [m, d]. Gradient flows to x only (A is constant):
+/// dx = A^T * dout.
+Tensor SpMM(const std::shared_ptr<const CsrMatrix>& a, const Tensor& x);
+
+}  // namespace hygnn::tensor
+
+#endif  // HYGNN_TENSOR_SPARSE_H_

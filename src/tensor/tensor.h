@@ -1,0 +1,109 @@
+#ifndef HYGNN_TENSOR_TENSOR_H_
+#define HYGNN_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hygnn::tensor {
+
+/// Internal storage and autograd node for a Tensor. Holds the value, the
+/// accumulated gradient, and the closure that propagates gradients to the
+/// node's parents in the dynamic computation graph.
+struct TensorImpl {
+  std::vector<float> data;
+  std::vector<float> grad;  // same length as data once EnsureGrad ran
+  int64_t rows = 0;
+  int64_t cols = 0;
+  bool requires_grad = false;
+
+  /// Propagates this node's gradient into its parents' gradients.
+  std::function<void()> backward_fn;
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+
+  int64_t size() const { return rows * cols; }
+
+  /// Allocates (zero-filled) gradient storage if absent.
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+/// A dense row-major 2-D float tensor with reverse-mode autograd.
+///
+/// Tensor is a cheap shared handle: copying a Tensor aliases the same
+/// storage and autograd node. Column vectors are [n, 1], row vectors
+/// [1, d], scalars [1, 1]. Gradients are accumulated by `Backward()`
+/// called on a scalar result (typically a loss).
+class Tensor {
+ public:
+  /// Constructs a null tensor (no storage). `defined()` is false.
+  Tensor() = default;
+
+  /// Wraps an existing implementation node.
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+  /// A [rows, cols] tensor of zeros.
+  static Tensor Zeros(int64_t rows, int64_t cols, bool requires_grad = false);
+
+  /// A [rows, cols] tensor filled with `value`.
+  static Tensor Full(int64_t rows, int64_t cols, float value,
+                     bool requires_grad = false);
+
+  /// A [rows, cols] tensor initialized from `values` (row-major;
+  /// values.size() must equal rows*cols).
+  static Tensor FromVector(std::vector<float> values, int64_t rows,
+                           int64_t cols, bool requires_grad = false);
+
+  /// A [1, 1] scalar tensor.
+  static Tensor Scalar(float value, bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+
+  int64_t rows() const { return impl_->rows; }
+  int64_t cols() const { return impl_->cols; }
+  int64_t size() const { return impl_->size(); }
+  bool requires_grad() const { return impl_->requires_grad; }
+
+  float* data() { return impl_->data.data(); }
+  const float* data() const { return impl_->data.data(); }
+
+  /// Gradient storage; valid after Backward() reached this node.
+  float* grad() { return impl_->grad.data(); }
+  const float* grad() const { return impl_->grad.data(); }
+  bool has_grad() const { return !impl_->grad.empty(); }
+
+  float At(int64_t r, int64_t c) const;
+  void Set(int64_t r, int64_t c, float value);
+
+  /// Value of a [1, 1] tensor.
+  float item() const;
+
+  /// Runs reverse-mode differentiation from this node. The node must be a
+  /// scalar ([1, 1]); its gradient is seeded with 1.
+  void Backward();
+
+  /// Clears this node's gradient (if allocated).
+  void ZeroGrad();
+
+  /// Detaches from the autograd graph: returns a tensor sharing no
+  /// history (fresh copy of the data, requires_grad = false).
+  Tensor Detach() const;
+
+  /// Deep copy of the data into a new leaf tensor.
+  Tensor Clone() const;
+
+  /// Human-readable summary, e.g. "Tensor[3x4]".
+  std::string ToString() const;
+
+  std::shared_ptr<TensorImpl> impl() const { return impl_; }
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+}  // namespace hygnn::tensor
+
+#endif  // HYGNN_TENSOR_TENSOR_H_

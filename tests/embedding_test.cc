@@ -1,0 +1,128 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "embedding/sgns.h"
+#include "embedding/walk_embedding.h"
+#include "graph/graph.h"
+
+namespace hygnn::embedding {
+namespace {
+
+double Cosine(const std::vector<float>& a, const std::vector<float>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+/// Two 5-cliques joined by a single bridge edge.
+graph::Graph TwoCommunities() {
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t a = 0; a < 5; ++a) {
+    for (int32_t b = a + 1; b < 5; ++b) {
+      edges.push_back({a, b});
+      edges.push_back({a + 5, b + 5});
+    }
+  }
+  edges.push_back({0, 5});
+  return graph::Graph(10, edges);
+}
+
+TEST(SgnsTest, EmbeddingDimensions) {
+  core::Rng rng(1);
+  SgnsConfig config;
+  config.dimension = 16;
+  SgnsModel model(10, config, &rng);
+  EXPECT_EQ(model.Embedding(0).size(), 16u);
+  EXPECT_EQ(model.vocab_size(), 10);
+}
+
+TEST(SgnsTest, TrainingMovesCooccurringNodesTogether) {
+  core::Rng rng(2);
+  SgnsConfig config;
+  config.dimension = 16;
+  config.epochs = 10;
+  SgnsModel model(4, config, &rng);
+  // Corpus where 0 and 1 always co-occur, 2 and 3 always co-occur.
+  std::vector<std::vector<int32_t>> walks;
+  for (int i = 0; i < 200; ++i) {
+    walks.push_back({0, 1, 0, 1, 0, 1});
+    walks.push_back({2, 3, 2, 3, 2, 3});
+  }
+  model.Train(walks, &rng);
+  const double same = Cosine(model.Embedding(0), model.Embedding(1));
+  const double cross = Cosine(model.Embedding(0), model.Embedding(3));
+  EXPECT_GT(same, cross);
+}
+
+TEST(DeepWalkTest, CommunityStructureRecovered) {
+  graph::Graph g = TwoCommunities();
+  core::Rng rng(3);
+  WalkEmbeddingConfig config;
+  config.walk.walk_length = 20;
+  config.walk.num_walks_per_node = 10;
+  config.sgns.dimension = 16;
+  config.sgns.epochs = 5;
+  auto embeddings = DeepWalkEmbeddings(g, config, &rng);
+  ASSERT_EQ(embeddings.size(), 10u);
+  // Average intra-community similarity must beat inter-community.
+  double intra = 0.0, inter = 0.0;
+  int intra_count = 0, inter_count = 0;
+  for (int a = 0; a < 10; ++a) {
+    for (int b = a + 1; b < 10; ++b) {
+      const bool same_side = (a < 5) == (b < 5);
+      const double cos = Cosine(embeddings[a], embeddings[b]);
+      if (same_side) {
+        intra += cos;
+        ++intra_count;
+      } else {
+        inter += cos;
+        ++inter_count;
+      }
+    }
+  }
+  EXPECT_GT(intra / intra_count, inter / inter_count);
+}
+
+TEST(Node2VecTest, ProducesFiniteEmbeddings) {
+  graph::Graph g = TwoCommunities();
+  core::Rng rng(4);
+  WalkEmbeddingConfig config;
+  config.walk.walk_length = 15;
+  config.walk.num_walks_per_node = 5;
+  config.walk.p = 0.5;
+  config.walk.q = 2.0;
+  config.sgns.dimension = 8;
+  config.sgns.epochs = 2;
+  auto embeddings = Node2VecEmbeddings(g, config, &rng);
+  ASSERT_EQ(embeddings.size(), 10u);
+  for (const auto& row : embeddings) {
+    for (float v : row) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(WalkEmbeddingTest, DeterministicForSeed) {
+  graph::Graph g = TwoCommunities();
+  WalkEmbeddingConfig config;
+  config.walk.walk_length = 10;
+  config.walk.num_walks_per_node = 2;
+  config.sgns.dimension = 8;
+  config.sgns.epochs = 1;
+  core::Rng rng_a(5), rng_b(5);
+  auto a = DeepWalkEmbeddings(g, config, &rng_a);
+  auto b = DeepWalkEmbeddings(g, config, &rng_b);
+  for (size_t v = 0; v < a.size(); ++v) {
+    for (size_t j = 0; j < a[v].size(); ++j) {
+      EXPECT_EQ(a[v][j], b[v][j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hygnn::embedding

@@ -1,0 +1,104 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "chem/fragments.h"
+#include "chem/generator.h"
+#include "chem/smiles.h"
+#include "core/rng.h"
+
+namespace hygnn::chem {
+namespace {
+
+TEST(FragmentLibraryTest, EveryFragmentIsValidSmiles) {
+  for (const auto& fragment : StandardFragmentLibrary()) {
+    EXPECT_TRUE(ValidateSmiles(fragment.smiles).ok())
+        << fragment.name << ": " << fragment.smiles;
+  }
+}
+
+TEST(FragmentLibraryTest, HasFunctionalGroupsAndFillers) {
+  EXPECT_GT(FunctionalGroupIndices().size(), 10u);
+  EXPECT_GT(FillerIndices().size(), 3u);
+  EXPECT_GT(NumReactiveClasses(), 5);
+}
+
+TEST(FragmentLibraryTest, IndicesArePartition) {
+  const auto& library = StandardFragmentLibrary();
+  auto groups = FunctionalGroupIndices();
+  auto fillers = FillerIndices();
+  EXPECT_EQ(groups.size() + fillers.size(), library.size());
+  std::set<int32_t> all(groups.begin(), groups.end());
+  all.insert(fillers.begin(), fillers.end());
+  EXPECT_EQ(all.size(), library.size());
+}
+
+TEST(FragmentLibraryTest, ReactiveClassesAreDense) {
+  std::set<int32_t> classes;
+  for (const auto& fragment : StandardFragmentLibrary()) {
+    if (fragment.reactive_class >= 0) classes.insert(fragment.reactive_class);
+  }
+  // Classes 0..NumReactiveClasses-1 are all inhabited.
+  EXPECT_EQ(static_cast<int32_t>(classes.size()), NumReactiveClasses());
+  EXPECT_EQ(*classes.begin(), 0);
+  EXPECT_EQ(*classes.rbegin(), NumReactiveClasses() - 1);
+}
+
+TEST(GeneratorTest, ProducesValidSmiles) {
+  SmilesGenerator generator;
+  core::Rng rng(42);
+  auto groups = FunctionalGroupIndices();
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<int32_t> picked;
+    const size_t count = 1 + rng.UniformInt(4);
+    auto selection = rng.SampleWithoutReplacement(groups.size(), count);
+    for (size_t s : selection) picked.push_back(groups[s]);
+    auto smiles_or =
+        generator.Generate(picked, static_cast<int32_t>(rng.UniformInt(7)),
+                           &rng);
+    ASSERT_TRUE(smiles_or.ok()) << smiles_or.status().ToString();
+    EXPECT_TRUE(ValidateSmiles(smiles_or.value()).ok())
+        << smiles_or.value();
+  }
+}
+
+TEST(GeneratorTest, ContainsRequestedFragmentSnippets) {
+  SmilesGenerator generator;
+  core::Rng rng(7);
+  const auto& library = StandardFragmentLibrary();
+  // Pick the sulfonamide fragment (distinctive snippet).
+  int32_t sulfonamide = -1;
+  for (size_t i = 0; i < library.size(); ++i) {
+    if (library[i].name == "sulfonamide") {
+      sulfonamide = static_cast<int32_t>(i);
+    }
+  }
+  ASSERT_GE(sulfonamide, 0);
+  auto smiles = generator.Generate({sulfonamide}, 2, &rng).value();
+  EXPECT_NE(smiles.find("S(=O)(=O)N"), std::string::npos) << smiles;
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  SmilesGenerator generator;
+  core::Rng rng_a(5), rng_b(5);
+  auto a = generator.Generate({0, 5}, 3, &rng_a).value();
+  auto b = generator.Generate({0, 5}, 3, &rng_b).value();
+  EXPECT_EQ(a, b);
+}
+
+TEST(GeneratorTest, RejectsBadFragmentIndex) {
+  SmilesGenerator generator;
+  core::Rng rng(1);
+  EXPECT_FALSE(generator.Generate({-1}, 0, &rng).ok());
+  EXPECT_FALSE(generator.Generate({10000}, 0, &rng).ok());
+}
+
+TEST(GeneratorTest, EmptyGroupsStillValid) {
+  SmilesGenerator generator;
+  core::Rng rng(9);
+  auto smiles = generator.Generate({}, 4, &rng).value();
+  EXPECT_TRUE(ValidateSmiles(smiles).ok());
+}
+
+}  // namespace
+}  // namespace hygnn::chem

@@ -1,0 +1,52 @@
+#ifndef HYGNN_TESTS_GRADCHECK_H_
+#define HYGNN_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace hygnn::testing {
+
+/// Compares the autograd gradient of `fn` (a scalar-valued function of
+/// one leaf tensor) against central finite differences. `make_input`
+/// must return a fresh leaf tensor with identical contents each call,
+/// and `fn` must rebuild the graph from it.
+inline void ExpectGradMatchesNumeric(
+    const std::function<tensor::Tensor()>& make_input,
+    const std::function<tensor::Tensor(const tensor::Tensor&)>& fn,
+    float epsilon = 1e-3f, float rel_tolerance = 2e-2f,
+    float abs_tolerance = 2e-3f) {
+  // Analytic gradient.
+  tensor::Tensor x = make_input();
+  tensor::Tensor y = fn(x);
+  ASSERT_EQ(y.size(), 1) << "gradcheck target must be scalar";
+  y.Backward();
+  ASSERT_TRUE(x.has_grad());
+  std::vector<float> analytic(x.grad(), x.grad() + x.size());
+
+  // Numeric gradient, one coordinate at a time.
+  for (int64_t i = 0; i < x.size(); ++i) {
+    tensor::Tensor x_plus = make_input();
+    x_plus.data()[i] += epsilon;
+    const float f_plus = fn(x_plus).item();
+
+    tensor::Tensor x_minus = make_input();
+    x_minus.data()[i] -= epsilon;
+    const float f_minus = fn(x_minus).item();
+
+    const float numeric = (f_plus - f_minus) / (2.0f * epsilon);
+    const float scale =
+        std::max({std::fabs(numeric), std::fabs(analytic[i]), 1.0f});
+    EXPECT_NEAR(analytic[i], numeric,
+                std::max(abs_tolerance, rel_tolerance * scale))
+        << "coordinate " << i;
+  }
+}
+
+}  // namespace hygnn::testing
+
+#endif  // HYGNN_TESTS_GRADCHECK_H_

@@ -1,0 +1,136 @@
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "data/generator.h"
+#include "data/pairs.h"
+#include "graph/hypergraph.h"
+#include "graph/random_walk.h"
+
+namespace hygnn::graph {
+namespace {
+
+/// Random hypergraphs: structural invariants hold for any membership
+/// pattern.
+class HypergraphInvariantTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(HypergraphInvariantTest, InvariantsHold) {
+  core::Rng rng(GetParam());
+  const int32_t num_nodes = 1 + static_cast<int32_t>(rng.UniformInt(40));
+  const int32_t num_edges = 1 + static_cast<int32_t>(rng.UniformInt(25));
+  std::vector<std::vector<int32_t>> members(
+      static_cast<size_t>(num_edges));
+  for (auto& edge : members) {
+    const size_t degree = rng.UniformInt(
+        static_cast<uint64_t>(num_nodes) + 1);
+    for (size_t i = 0; i < degree; ++i) {
+      edge.push_back(static_cast<int32_t>(rng.UniformInt(num_nodes)));
+    }
+  }
+  Hypergraph h(num_nodes, members);
+
+  // Sum of edge degrees == sum of node degrees == incidences.
+  int64_t edge_degree_sum = 0;
+  for (int32_t e = 0; e < h.num_edges(); ++e) {
+    edge_degree_sum += h.EdgeDegree(e);
+  }
+  int64_t node_degree_sum = 0;
+  for (int32_t v = 0; v < h.num_nodes(); ++v) {
+    node_degree_sum += h.NodeDegree(v);
+  }
+  EXPECT_EQ(edge_degree_sum, h.num_incidences());
+  EXPECT_EQ(node_degree_sum, h.num_incidences());
+
+  // Membership is symmetric: v in EdgeMembers(e) <=> e in
+  // NodeMemberships(v).
+  for (int32_t e = 0; e < h.num_edges(); ++e) {
+    for (int32_t v : h.EdgeMembers(e)) {
+      auto memberships = h.NodeMemberships(v);
+      EXPECT_TRUE(std::find(memberships.begin(), memberships.end(), e) !=
+                  memberships.end());
+    }
+  }
+
+  // Dense incidence agrees with the COO pairs.
+  auto dense = h.DenseIncidence();
+  int64_t nnz = 0;
+  for (const auto& row : dense) {
+    for (uint8_t cell : row) nnz += cell;
+  }
+  EXPECT_EQ(nnz, h.num_incidences());
+
+  // SharedNodes is symmetric and bounded by the smaller degree.
+  for (int32_t a = 0; a < h.num_edges(); ++a) {
+    for (int32_t b = 0; b < h.num_edges(); ++b) {
+      const int64_t shared = h.SharedNodes(a, b);
+      EXPECT_EQ(shared, h.SharedNodes(b, a));
+      EXPECT_LE(shared, std::min(h.EdgeDegree(a), h.EdgeDegree(b)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HypergraphInvariantTest,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u,
+                                           606u));
+
+/// node2vec walks stay on edges for any (p, q) combination.
+class WalkParamTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(WalkParamTest, BiasedWalksFollowEdges) {
+  const auto [p, q] = GetParam();
+  Graph g(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 3}});
+  core::Rng rng(9);
+  RandomWalkConfig config;
+  config.walk_length = 25;
+  config.num_walks_per_node = 3;
+  config.p = p;
+  config.q = q;
+  for (const auto& walk : BiasedRandomWalks(g, config, &rng)) {
+    for (size_t i = 1; i < walk.size(); ++i) {
+      ASSERT_TRUE(g.HasEdge(walk[i - 1], walk[i]))
+          << "p=" << p << " q=" << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PqGrid, WalkParamTest,
+    ::testing::Combine(::testing::Values(0.25, 1.0, 4.0),
+                       ::testing::Values(0.25, 1.0, 4.0)));
+
+/// Cold-start splits partition the pair set for any held-out subset.
+class ColdStartPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ColdStartPropertyTest, PartitionAndIsolation) {
+  core::Rng rng(GetParam());
+  data::DatasetConfig config;
+  config.num_drugs = 30;
+  config.seed = GetParam();
+  auto dataset = data::GenerateDataset(config).value();
+  auto pairs = data::BuildBalancedPairs(dataset, &rng);
+
+  const size_t held_count = 1 + rng.UniformInt(5);
+  std::vector<int32_t> held;
+  for (size_t index : rng.SampleWithoutReplacement(30, held_count)) {
+    held.push_back(static_cast<int32_t>(index));
+  }
+  auto split = data::ColdStartSplit(pairs, held);
+  EXPECT_EQ(split.train.size() + split.test.size(), pairs.size());
+  std::set<int32_t> held_set(held.begin(), held.end());
+  for (const auto& pair : split.train) {
+    EXPECT_FALSE(held_set.count(pair.a) || held_set.count(pair.b));
+  }
+  for (const auto& pair : split.test) {
+    EXPECT_TRUE(held_set.count(pair.a) || held_set.count(pair.b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColdStartPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace hygnn::graph

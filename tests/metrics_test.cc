@@ -1,0 +1,126 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+
+namespace hygnn::metrics {
+namespace {
+
+TEST(ConfusionTest, CountsCorrect) {
+  std::vector<float> scores{0.9f, 0.8f, 0.3f, 0.1f};
+  std::vector<float> labels{1.0f, 0.0f, 1.0f, 0.0f};
+  auto cm = ComputeConfusion(scores, labels, 0.5f);
+  EXPECT_EQ(cm.true_positives, 1);
+  EXPECT_EQ(cm.false_positives, 1);
+  EXPECT_EQ(cm.false_negatives, 1);
+  EXPECT_EQ(cm.true_negatives, 1);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.Precision(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.Recall(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.F1(), 0.5);
+}
+
+TEST(ConfusionTest, DegenerateCasesAreZeroNotNan) {
+  ConfusionMatrix empty;
+  EXPECT_EQ(empty.Accuracy(), 0.0);
+  EXPECT_EQ(empty.Precision(), 0.0);
+  EXPECT_EQ(empty.Recall(), 0.0);
+  EXPECT_EQ(empty.F1(), 0.0);
+}
+
+TEST(F1Test, PerfectClassifier) {
+  std::vector<float> scores{0.99f, 0.98f, 0.01f, 0.02f};
+  std::vector<float> labels{1.0f, 1.0f, 0.0f, 0.0f};
+  EXPECT_DOUBLE_EQ(F1Score(scores, labels), 1.0);
+}
+
+TEST(F1Test, ThresholdMatters) {
+  std::vector<float> scores{0.6f, 0.4f};
+  std::vector<float> labels{1.0f, 1.0f};
+  EXPECT_NEAR(F1Score(scores, labels, 0.5f), 2.0 * 0.5 / 1.5, 1e-9);
+  EXPECT_DOUBLE_EQ(F1Score(scores, labels, 0.3f), 1.0);
+}
+
+TEST(RocAucTest, PerfectAndWorst) {
+  std::vector<float> labels{1.0f, 1.0f, 0.0f, 0.0f};
+  EXPECT_DOUBLE_EQ(RocAuc({0.9f, 0.8f, 0.2f, 0.1f}, labels), 1.0);
+  EXPECT_DOUBLE_EQ(RocAuc({0.1f, 0.2f, 0.8f, 0.9f}, labels), 0.0);
+}
+
+TEST(RocAucTest, RandomScoresNearHalf) {
+  // Known hand case: one inversion out of four pairs.
+  std::vector<float> scores{0.7f, 0.3f, 0.5f, 0.1f};
+  std::vector<float> labels{1.0f, 1.0f, 0.0f, 0.0f};
+  // Positive-negative pairs: (0.7,0.5)+, (0.7,0.1)+, (0.3,0.5)-,
+  // (0.3,0.1)+ -> 3/4.
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.75);
+}
+
+TEST(RocAucTest, TiesCountHalf) {
+  std::vector<float> scores{0.5f, 0.5f};
+  std::vector<float> labels{1.0f, 0.0f};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.5);
+}
+
+TEST(RocAucTest, SingleClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.3f, 0.7f}, {1.0f, 1.0f}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0.3f, 0.7f}, {0.0f, 0.0f}), 0.5);
+}
+
+TEST(PrAucTest, PerfectClassifier) {
+  std::vector<float> scores{0.9f, 0.8f, 0.2f, 0.1f};
+  std::vector<float> labels{1.0f, 1.0f, 0.0f, 0.0f};
+  EXPECT_DOUBLE_EQ(PrAuc(scores, labels), 1.0);
+}
+
+TEST(PrAucTest, KnownHandCase) {
+  // Ranking: pos(0.9), neg(0.8), pos(0.7).
+  // AP = 1.0 * 0.5 + (2/3) * 0.5 = 0.8333...
+  std::vector<float> scores{0.9f, 0.8f, 0.7f};
+  std::vector<float> labels{1.0f, 0.0f, 1.0f};
+  EXPECT_NEAR(PrAuc(scores, labels), 1.0 * 0.5 + (2.0 / 3.0) * 0.5, 1e-9);
+}
+
+TEST(PrAucTest, AllTiedScoresEqualPrevalence) {
+  std::vector<float> scores{0.5f, 0.5f, 0.5f, 0.5f};
+  std::vector<float> labels{1.0f, 0.0f, 0.0f, 0.0f};
+  EXPECT_NEAR(PrAuc(scores, labels), 0.25, 1e-9);
+}
+
+TEST(PrAucTest, NoPositivesIsZero) {
+  EXPECT_DOUBLE_EQ(PrAuc({0.5f}, {0.0f}), 0.0);
+}
+
+TEST(AggregateTest, MeanAndStddev) {
+  auto agg = AggregateOf({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(agg.mean, 2.0);
+  EXPECT_NEAR(agg.stddev, std::sqrt(2.0 / 3.0), 1e-12);
+}
+
+TEST(AggregateTest, EmptyIsZero) {
+  auto agg = AggregateOf({});
+  EXPECT_EQ(agg.mean, 0.0);
+  EXPECT_EQ(agg.stddev, 0.0);
+}
+
+// Property sweep: AUC is invariant to monotone transforms of scores.
+class MonotoneInvarianceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MonotoneInvarianceTest, RocAucInvariant) {
+  const double scale = GetParam();
+  std::vector<float> scores{0.1f, 0.4f, 0.35f, 0.8f, 0.65f, 0.2f};
+  std::vector<float> labels{0.0f, 1.0f, 0.0f, 1.0f, 1.0f, 0.0f};
+  std::vector<float> transformed;
+  for (float s : scores) {
+    transformed.push_back(static_cast<float>(scale * s + 7.0));
+  }
+  EXPECT_NEAR(RocAuc(scores, labels), RocAuc(transformed, labels), 1e-12);
+  EXPECT_NEAR(PrAuc(scores, labels), PrAuc(transformed, labels), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, MonotoneInvarianceTest,
+                         ::testing::Values(0.5, 1.0, 3.0, 100.0));
+
+}  // namespace
+}  // namespace hygnn::metrics

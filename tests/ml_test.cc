@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "ml/bitvector.h"
+#include "ml/knn.h"
+#include "ml/logistic_regression.h"
+
+namespace hygnn::ml {
+namespace {
+
+TEST(BitVectorTest, SetGetPopcount) {
+  BitVector bits(130);
+  bits.SetBit(0);
+  bits.SetBit(64);
+  bits.SetBit(129);
+  EXPECT_TRUE(bits.GetBit(0));
+  EXPECT_TRUE(bits.GetBit(64));
+  EXPECT_FALSE(bits.GetBit(1));
+  EXPECT_EQ(bits.Popcount(), 3);
+}
+
+TEST(BitVectorTest, AndSemantics) {
+  BitVector a(10), b(10);
+  a.SetBit(1);
+  a.SetBit(2);
+  b.SetBit(2);
+  b.SetBit(3);
+  BitVector c = a.And(b);
+  EXPECT_EQ(c.Popcount(), 1);
+  EXPECT_TRUE(c.GetBit(2));
+  EXPECT_EQ(a.IntersectionCount(b), 1);
+  EXPECT_EQ(a.UnionCount(b), 3);
+}
+
+TEST(BitVectorTest, Jaccard) {
+  BitVector a(8), b(8);
+  a.SetBit(0);
+  a.SetBit(1);
+  b.SetBit(1);
+  b.SetBit(2);
+  EXPECT_DOUBLE_EQ(a.Jaccard(b), 1.0 / 3.0);
+  BitVector empty1(8), empty2(8);
+  EXPECT_DOUBLE_EQ(empty1.Jaccard(empty2), 0.0);
+}
+
+TEST(BitVectorTest, ToFloats) {
+  BitVector bits(5);
+  bits.SetBit(3);
+  auto dense = bits.ToFloats();
+  ASSERT_EQ(dense.size(), 5u);
+  EXPECT_EQ(dense[3], 1.0f);
+  EXPECT_EQ(dense[0], 0.0f);
+}
+
+TEST(BitVectorTest, BuildFunctionalRepresentations) {
+  auto frs = BuildFunctionalRepresentations({{0, 2}, {1}}, 3);
+  ASSERT_EQ(frs.size(), 2u);
+  EXPECT_TRUE(frs[0].GetBit(0));
+  EXPECT_TRUE(frs[0].GetBit(2));
+  EXPECT_FALSE(frs[0].GetBit(1));
+  EXPECT_TRUE(frs[1].GetBit(1));
+}
+
+TEST(LogisticRegressionTest, LearnsLinearlySeparable) {
+  // Label = 1 iff feature 0 is set.
+  core::Rng rng(1);
+  std::vector<std::vector<float>> features;
+  std::vector<float> labels;
+  for (int i = 0; i < 200; ++i) {
+    const bool positive = i % 2 == 0;
+    std::vector<float> x(4, 0.0f);
+    x[0] = positive ? 1.0f : 0.0f;
+    x[1] = static_cast<float>(rng.Uniform());  // noise
+    features.push_back(x);
+    labels.push_back(positive ? 1.0f : 0.0f);
+  }
+  LogisticRegression lr;
+  lr.Fit(features, labels, &rng);
+  EXPECT_GT(lr.PredictProbability({1.0f, 0.5f, 0.0f, 0.0f}), 0.9f);
+  EXPECT_LT(lr.PredictProbability({0.0f, 0.5f, 0.0f, 0.0f}), 0.1f);
+}
+
+TEST(LogisticRegressionTest, OutputsAreProbabilities) {
+  core::Rng rng(2);
+  std::vector<std::vector<float>> features{{0.0f}, {1.0f}};
+  std::vector<float> labels{0.0f, 1.0f};
+  LogisticRegression lr;
+  lr.Fit(features, labels, &rng);
+  for (float x = -5.0f; x <= 5.0f; x += 1.0f) {
+    const float p = lr.PredictProbability({x});
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
+TEST(KnnTest, MajorityVote) {
+  // Train: three near-identical positives, three distinct negatives.
+  std::vector<BitVector> features;
+  std::vector<float> labels;
+  for (int i = 0; i < 3; ++i) {
+    BitVector bits(16);
+    bits.SetBit(0);
+    bits.SetBit(1);
+    if (i > 0) bits.SetBit(10 + i);
+    features.push_back(bits);
+    labels.push_back(1.0f);
+  }
+  for (int i = 0; i < 3; ++i) {
+    BitVector bits(16);
+    bits.SetBit(8);
+    bits.SetBit(9 + i > 15 ? 15 : 9);
+    features.push_back(bits);
+    labels.push_back(0.0f);
+  }
+  KnnClassifier knn(3);
+  knn.Fit(features, labels);
+  BitVector query(16);
+  query.SetBit(0);
+  query.SetBit(1);
+  EXPECT_GT(knn.PredictScore(query), 0.9f);
+  BitVector far_query(16);
+  far_query.SetBit(8);
+  EXPECT_LT(knn.PredictScore(far_query), 0.5f);
+}
+
+TEST(KnnTest, KLargerThanTrainingSetClamps) {
+  std::vector<BitVector> features{BitVector(4)};
+  features[0].SetBit(0);
+  KnnClassifier knn(10);
+  knn.Fit(features, {1.0f});
+  BitVector query(4);
+  query.SetBit(0);
+  EXPECT_EQ(knn.PredictScore(query), 1.0f);
+}
+
+TEST(KnnTest, ScoreIsGraded) {
+  // 2 positive, 1 negative neighbours at equal distance: score 2/3.
+  std::vector<BitVector> features;
+  std::vector<float> labels{1.0f, 1.0f, 0.0f};
+  for (int i = 0; i < 3; ++i) {
+    BitVector bits(8);
+    bits.SetBit(i);
+    features.push_back(bits);
+  }
+  KnnClassifier knn(3);
+  knn.Fit(features, labels);
+  BitVector query(8);
+  query.SetBit(5);
+  EXPECT_NEAR(knn.PredictScore(query), 2.0f / 3.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace hygnn::ml

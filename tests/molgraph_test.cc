@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "chem/fingerprint.h"
+#include "chem/molgraph.h"
+
+namespace hygnn::chem {
+namespace {
+
+TEST(MolGraphTest, Ethanol) {
+  auto mol = MolecularGraph::FromSmiles("CCO").value();
+  EXPECT_EQ(mol.num_atoms(), 3);
+  EXPECT_EQ(mol.num_bonds(), 2);
+  EXPECT_EQ(mol.atom(0).element, "C");
+  EXPECT_EQ(mol.atom(2).element, "O");
+  EXPECT_EQ(mol.Degree(1), 2);
+  EXPECT_EQ(mol.Degree(0), 1);
+}
+
+TEST(MolGraphTest, BenzeneRing) {
+  auto mol = MolecularGraph::FromSmiles("c1ccccc1").value();
+  EXPECT_EQ(mol.num_atoms(), 6);
+  EXPECT_EQ(mol.num_bonds(), 6);  // ring closure adds the 6th bond
+  for (int32_t atom = 0; atom < 6; ++atom) {
+    EXPECT_TRUE(mol.atom(atom).aromatic);
+    EXPECT_EQ(mol.atom(atom).element, "C");
+    EXPECT_EQ(mol.Degree(atom), 2);
+  }
+  int aromatic_bonds = 0;
+  for (int32_t b = 0; b < mol.num_bonds(); ++b) {
+    if (mol.bond(b).aromatic) ++aromatic_bonds;
+  }
+  EXPECT_EQ(aromatic_bonds, 6);
+}
+
+TEST(MolGraphTest, BondOrders) {
+  auto mol = MolecularGraph::FromSmiles("C=CC#N").value();
+  ASSERT_EQ(mol.num_bonds(), 3);
+  EXPECT_EQ(mol.bond(0).order, 2);
+  EXPECT_EQ(mol.bond(1).order, 1);
+  EXPECT_EQ(mol.bond(2).order, 3);
+}
+
+TEST(MolGraphTest, Branches) {
+  // Isobutane: central carbon with 3 methyl neighbors.
+  auto mol = MolecularGraph::FromSmiles("CC(C)C").value();
+  EXPECT_EQ(mol.num_atoms(), 4);
+  EXPECT_EQ(mol.num_bonds(), 3);
+  EXPECT_EQ(mol.Degree(1), 3);
+}
+
+TEST(MolGraphTest, BracketAtoms) {
+  auto mol = MolecularGraph::FromSmiles("C[NH4+]").value();
+  EXPECT_EQ(mol.num_atoms(), 2);
+  EXPECT_EQ(mol.atom(1).element, "N");
+  EXPECT_EQ(mol.atom(1).charge, 1);
+  EXPECT_EQ(mol.atom(1).explicit_hydrogens, 4);
+
+  auto anion = MolecularGraph::FromSmiles("[O-]C").value();
+  EXPECT_EQ(anion.atom(0).charge, -1);
+
+  auto nitro = MolecularGraph::FromSmiles("C[N+](=O)[O-]").value();
+  EXPECT_EQ(nitro.atom(1).charge, 1);
+  EXPECT_EQ(nitro.atom(2).element, "O");
+  EXPECT_EQ(nitro.bond(1).order, 2);
+}
+
+TEST(MolGraphTest, ChiralityParsedAndIgnored) {
+  auto mol = MolecularGraph::FromSmiles("C[C@@H](N)O").value();
+  EXPECT_EQ(mol.num_atoms(), 4);
+  EXPECT_EQ(mol.atom(1).element, "C");
+  EXPECT_EQ(mol.atom(1).explicit_hydrogens, 1);
+}
+
+TEST(MolGraphTest, AromaticBracketAtom) {
+  auto mol = MolecularGraph::FromSmiles("c1cnc[nH]1").value();
+  EXPECT_EQ(mol.num_atoms(), 5);
+  EXPECT_TRUE(mol.atom(4).aromatic);
+  EXPECT_EQ(mol.atom(4).element, "N");
+  EXPECT_EQ(mol.atom(4).explicit_hydrogens, 1);
+}
+
+TEST(MolGraphTest, DisconnectedComponents) {
+  auto mol = MolecularGraph::FromSmiles("CC.O").value();
+  EXPECT_EQ(mol.num_atoms(), 3);
+  EXPECT_EQ(mol.num_bonds(), 1);
+  EXPECT_EQ(mol.Degree(2), 0);
+}
+
+TEST(MolGraphTest, RingLabelReuse) {
+  auto mol = MolecularGraph::FromSmiles("C1CC1C1CC1").value();
+  EXPECT_EQ(mol.num_atoms(), 6);
+  EXPECT_EQ(mol.num_bonds(), 7);  // two triangles + connector
+}
+
+TEST(MolGraphTest, SpiroRing) {
+  // The paper's example drug DB00226 contains a spiro junction.
+  auto mol = MolecularGraph::FromSmiles("NC(N)=NCC1COC2(CCCCC2)O1").value();
+  EXPECT_GT(mol.num_atoms(), 10);
+  // Spiro atom (C2(...)) has degree 4.
+  int64_t max_degree = 0;
+  for (int32_t atom = 0; atom < mol.num_atoms(); ++atom) {
+    max_degree = std::max(max_degree, mol.Degree(atom));
+  }
+  EXPECT_EQ(max_degree, 4);
+}
+
+TEST(MolGraphTest, AspirinAtomCount) {
+  // Aspirin C9H8O4: 13 heavy atoms, 13 bonds (1 ring).
+  auto mol = MolecularGraph::FromSmiles("CC(=O)Oc1ccccc1C(=O)O").value();
+  EXPECT_EQ(mol.num_atoms(), 13);
+  EXPECT_EQ(mol.num_bonds(), 13);
+}
+
+TEST(MolGraphTest, RejectsInvalidSmiles) {
+  EXPECT_FALSE(MolecularGraph::FromSmiles("C(C").ok());
+  EXPECT_FALSE(MolecularGraph::FromSmiles("").ok());
+  EXPECT_FALSE(MolecularGraph::FromSmiles("C1CC").ok());
+}
+
+TEST(MolGraphTest, OtherEndNavigation) {
+  auto mol = MolecularGraph::FromSmiles("CCO").value();
+  for (int32_t bond_index : mol.IncidentBonds(1)) {
+    const int32_t other = mol.OtherEnd(bond_index, 1);
+    EXPECT_TRUE(other == 0 || other == 2);
+  }
+}
+
+// ---------- fingerprints ----------
+
+TEST(FingerprintTest, DeterministicAndSelfSimilar) {
+  auto fp1 = MorganFingerprintFromSmiles("CC(=O)Oc1ccccc1C(=O)O").value();
+  auto fp2 = MorganFingerprintFromSmiles("CC(=O)Oc1ccccc1C(=O)O").value();
+  EXPECT_TRUE(fp1 == fp2);
+  EXPECT_DOUBLE_EQ(TanimotoSimilarity(fp1, fp2), 1.0);
+  EXPECT_GT(fp1.Popcount(), 0);
+}
+
+TEST(FingerprintTest, SimilarMoleculesMoreSimilarThanDissimilar) {
+  // Ethanol vs propanol (homologues) vs benzene (unrelated).
+  auto ethanol = MorganFingerprintFromSmiles("CCO").value();
+  auto propanol = MorganFingerprintFromSmiles("CCCO").value();
+  auto benzene = MorganFingerprintFromSmiles("c1ccccc1").value();
+  EXPECT_GT(TanimotoSimilarity(ethanol, propanol),
+            TanimotoSimilarity(ethanol, benzene));
+}
+
+TEST(FingerprintTest, RadiusZeroIsAtomTypes) {
+  FingerprintConfig config;
+  config.radius = 0;
+  auto a = MorganFingerprintFromSmiles("CCCC", config).value();
+  auto b = MorganFingerprintFromSmiles("CCC", config).value();
+  // Same atom environment alphabet (interior/terminal C): highly similar.
+  EXPECT_GT(TanimotoSimilarity(a, b), 0.9);
+}
+
+TEST(FingerprintTest, LargerRadiusDistinguishesMore) {
+  FingerprintConfig r0;
+  r0.radius = 0;
+  FingerprintConfig r2;
+  r2.radius = 2;
+  // Two molecules with identical atom-degree multisets but different
+  // connectivity order.
+  const char* m1 = "CCOCCN";
+  const char* m2 = "CCNCCO";
+  const double sim_r0 =
+      TanimotoSimilarity(MorganFingerprintFromSmiles(m1, r0).value(),
+                         MorganFingerprintFromSmiles(m2, r0).value());
+  const double sim_r2 =
+      TanimotoSimilarity(MorganFingerprintFromSmiles(m1, r2).value(),
+                         MorganFingerprintFromSmiles(m2, r2).value());
+  EXPECT_LE(sim_r2, sim_r0);
+}
+
+TEST(FingerprintTest, NeighborOrderInvariance) {
+  // The same molecule written with branches in different orders must
+  // produce the same fingerprint.
+  auto a = MorganFingerprintFromSmiles("CC(N)(O)C").value();
+  auto b = MorganFingerprintFromSmiles("CC(O)(N)C").value();
+  EXPECT_DOUBLE_EQ(TanimotoSimilarity(a, b), 1.0);
+}
+
+TEST(FingerprintTest, PropagatesParserErrors) {
+  EXPECT_FALSE(MorganFingerprintFromSmiles("not-smiles").ok());
+}
+
+}  // namespace
+}  // namespace hygnn::chem

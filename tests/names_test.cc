@@ -1,0 +1,47 @@
+#include <cctype>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "data/names.h"
+
+namespace hygnn::data {
+namespace {
+
+TEST(NameGeneratorTest, NamesAreUnique) {
+  NameGenerator generator;
+  core::Rng rng(1);
+  std::set<std::string> names;
+  for (int i = 0; i < 2000; ++i) {
+    auto name = generator.Generate(&rng);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate: " << name;
+  }
+}
+
+TEST(NameGeneratorTest, NamesLookLikeDrugNames) {
+  NameGenerator generator;
+  core::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    auto name = generator.Generate(&rng);
+    ASSERT_GE(name.size(), 4u);
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(name[0]))) << name;
+    for (size_t c = 1; c < name.size(); ++c) {
+      EXPECT_TRUE(std::islower(static_cast<unsigned char>(name[c])) ||
+                  std::isdigit(static_cast<unsigned char>(name[c])) ||
+                  name[c] == '-')
+          << name;
+    }
+  }
+}
+
+TEST(NameGeneratorTest, DeterministicForSeed) {
+  NameGenerator g1, g2;
+  core::Rng rng1(3), rng2(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(g1.Generate(&rng1), g2.Generate(&rng2));
+  }
+}
+
+}  // namespace
+}  // namespace hygnn::data

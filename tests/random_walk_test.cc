@@ -1,0 +1,132 @@
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "graph/graph.h"
+#include "graph/random_walk.h"
+
+namespace hygnn::graph {
+namespace {
+
+Graph MakePath() { return Graph(4, {{0, 1}, {1, 2}, {2, 3}}); }
+
+TEST(RandomWalkTest, WalkCountAndLength) {
+  Graph g = MakePath();
+  core::Rng rng(1);
+  RandomWalkConfig config;
+  config.walk_length = 10;
+  config.num_walks_per_node = 3;
+  auto walks = UniformRandomWalks(g, config, &rng);
+  EXPECT_EQ(walks.size(), 12u);
+  for (const auto& walk : walks) {
+    EXPECT_GE(walk.size(), 1u);
+    EXPECT_LE(walk.size(), 10u);
+  }
+}
+
+TEST(RandomWalkTest, StepsFollowEdges) {
+  Graph g = MakePath();
+  core::Rng rng(2);
+  RandomWalkConfig config;
+  config.walk_length = 20;
+  config.num_walks_per_node = 5;
+  for (const auto& walk : UniformRandomWalks(g, config, &rng)) {
+    for (size_t i = 1; i < walk.size(); ++i) {
+      EXPECT_TRUE(g.HasEdge(walk[i - 1], walk[i]))
+          << walk[i - 1] << "->" << walk[i];
+    }
+  }
+}
+
+TEST(RandomWalkTest, IsolatedNodeWalkStops) {
+  Graph g(2, {});
+  core::Rng rng(3);
+  RandomWalkConfig config;
+  config.walk_length = 10;
+  config.num_walks_per_node = 1;
+  auto walks = UniformRandomWalks(g, config, &rng);
+  ASSERT_EQ(walks.size(), 2u);
+  EXPECT_EQ(walks[0].size(), 1u);
+}
+
+TEST(RandomWalkTest, EveryNodeIsAStart) {
+  Graph g = MakePath();
+  core::Rng rng(4);
+  RandomWalkConfig config;
+  config.walk_length = 5;
+  config.num_walks_per_node = 1;
+  auto walks = UniformRandomWalks(g, config, &rng);
+  std::map<int32_t, int> starts;
+  for (const auto& walk : walks) ++starts[walk[0]];
+  for (int32_t v = 0; v < 4; ++v) EXPECT_EQ(starts[v], 1);
+}
+
+TEST(BiasedWalkTest, StepsFollowEdges) {
+  Graph g = MakePath();
+  core::Rng rng(5);
+  RandomWalkConfig config;
+  config.walk_length = 15;
+  config.num_walks_per_node = 4;
+  config.p = 0.5;
+  config.q = 2.0;
+  for (const auto& walk : BiasedRandomWalks(g, config, &rng)) {
+    for (size_t i = 1; i < walk.size(); ++i) {
+      EXPECT_TRUE(g.HasEdge(walk[i - 1], walk[i]));
+    }
+  }
+}
+
+TEST(BiasedWalkTest, LowPReturnsMoreOften) {
+  // Star graph: center 0 with leaves. From a leaf, the only move is back
+  // to the center; from the center with small p, the walk should return
+  // to the previous leaf more often than under large p.
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t leaf = 1; leaf <= 6; ++leaf) edges.push_back({0, leaf});
+  Graph star(7, edges);
+
+  auto count_immediate_returns = [&star](double p, uint64_t seed) {
+    core::Rng rng(seed);
+    RandomWalkConfig config;
+    config.walk_length = 50;
+    config.num_walks_per_node = 30;
+    config.p = p;
+    config.q = 1.0;
+    int returns = 0, transitions = 0;
+    for (const auto& walk : BiasedRandomWalks(star, config, &rng)) {
+      for (size_t i = 2; i < walk.size(); ++i) {
+        ++transitions;
+        if (walk[i] == walk[i - 2]) ++returns;
+      }
+    }
+    return static_cast<double>(returns) / transitions;
+  };
+
+  const double return_rate_low_p = count_immediate_returns(0.1, 11);
+  const double return_rate_high_p = count_immediate_returns(10.0, 11);
+  EXPECT_GT(return_rate_low_p, return_rate_high_p);
+}
+
+TEST(BiasedWalkTest, UnitPqMatchesUniformStatistics) {
+  // With p = q = 1 the biased walk reduces to a first-order walk; check
+  // the stationary visit distribution is proportional to degree.
+  Graph g(3, {{0, 1}, {1, 2}});  // degrees 1, 2, 1
+  core::Rng rng(13);
+  RandomWalkConfig config;
+  config.walk_length = 200;
+  config.num_walks_per_node = 30;
+  auto walks = BiasedRandomWalks(g, config, &rng);
+  std::map<int32_t, int64_t> visits;
+  int64_t total = 0;
+  for (const auto& walk : walks) {
+    for (int32_t v : walk) {
+      ++visits[v];
+      ++total;
+    }
+  }
+  // Node 1 has half the total degree.
+  EXPECT_NEAR(static_cast<double>(visits[1]) / total, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace hygnn::graph

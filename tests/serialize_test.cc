@@ -1,0 +1,154 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "data/featurize.h"
+#include "data/generator.h"
+#include "data/pairs.h"
+#include "graph/builders.h"
+#include "hygnn/model.h"
+#include "hygnn/trainer.h"
+#include "tensor/init.h"
+#include "tensor/serialize.h"
+
+namespace hygnn::tensor {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripPreservesValues) {
+  core::Rng rng(1);
+  Tensor a = NormalInit(3, 4, 1.0f, &rng, false);
+  Tensor b = NormalInit(1, 7, 2.0f, &rng, false);
+  const std::string path = TempPath("tensors.bin");
+  ASSERT_TRUE(SaveTensors({{"a", a}, {"b", b}}, path).ok());
+  auto loaded = LoadTensors(path).value();
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].first, "a");
+  EXPECT_EQ(loaded[1].first, "b");
+  EXPECT_EQ(loaded[0].second.rows(), 3);
+  EXPECT_EQ(loaded[0].second.cols(), 4);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(loaded[0].second.data()[i], a.data()[i]);
+  }
+  for (int64_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(loaded[1].second.data()[i], b.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadedTensorsAreLeaves) {
+  const std::string path = TempPath("leaf.bin");
+  Tensor t = Tensor::Full(2, 2, 1.0f, /*requires_grad=*/true);
+  ASSERT_TRUE(SaveTensors({{"t", t}}, path).ok());
+  auto loaded = LoadTensors(path).value();
+  EXPECT_FALSE(loaded[0].second.requires_grad());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsCorruptFiles) {
+  const std::string path = TempPath("garbage.bin");
+  FILE* f = fopen(path.c_str(), "wb");
+  fputs("not a tensor file at all", f);
+  fclose(f);
+  EXPECT_FALSE(LoadTensors(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadTensors("/nonexistent/x.bin").ok());
+}
+
+TEST(SerializeTest, RestoreParametersChecksShapes) {
+  core::Rng rng(2);
+  Tensor p = NormalInit(2, 3, 1.0f, &rng, true);
+  std::vector<Tensor> params{p};
+  std::vector<std::pair<std::string, Tensor>> wrong_count;
+  EXPECT_FALSE(RestoreParameters(wrong_count, &params).ok());
+  std::vector<std::pair<std::string, Tensor>> wrong_shape{
+      {"x", Tensor::Zeros(3, 2)}};
+  EXPECT_FALSE(RestoreParameters(wrong_shape, &params).ok());
+  std::vector<std::pair<std::string, Tensor>> good{
+      {"x", Tensor::Full(2, 3, 9.0f)}};
+  ASSERT_TRUE(RestoreParameters(good, &params).ok());
+  EXPECT_EQ(params[0].At(1, 2), 9.0f);
+}
+
+TEST(ModelCheckpointTest, SaveLoadReproducesPredictions) {
+  data::DatasetConfig data_config;
+  data_config.num_drugs = 60;
+  data_config.seed = 77;
+  auto dataset = data::GenerateDataset(data_config).value();
+  data::FeaturizeConfig feat_config;
+  feat_config.espf_frequency_threshold = 3;
+  auto featurizer =
+      data::SubstructureFeaturizer::Build(dataset.drugs(), feat_config)
+          .value();
+  auto hypergraph = graph::BuildDrugHypergraph(
+      featurizer.drug_substructures(), featurizer.num_substructures());
+  auto context = model::HypergraphContext::FromHypergraph(hypergraph);
+
+  core::Rng rng(3);
+  auto pairs = data::BuildBalancedPairs(dataset, &rng);
+  auto split = data::RandomSplit(pairs, 0.7, &rng);
+
+  model::HyGnnConfig config;
+  config.encoder.hidden_dim = 16;
+  config.encoder.output_dim = 16;
+  core::Rng model_rng(4);
+  model::HyGnnModel original(featurizer.num_substructures(), config,
+                             &model_rng);
+  model::TrainConfig train_config;
+  train_config.epochs = 30;
+  model::HyGnnTrainer trainer(&original, train_config);
+  trainer.Fit(context, split.train);
+
+  const std::string path = TempPath("model.bin");
+  ASSERT_TRUE(original.SaveWeights(path).ok());
+
+  // A fresh model with different random init must reproduce the
+  // original's predictions exactly after loading.
+  core::Rng other_rng(999);
+  model::HyGnnModel restored(featurizer.num_substructures(), config,
+                             &other_rng);
+  ASSERT_TRUE(restored.LoadWeights(path).ok());
+  auto original_scores =
+      original.PredictProbabilities(context, split.test);
+  auto restored_scores =
+      restored.PredictProbabilities(context, split.test);
+  ASSERT_EQ(original_scores.size(), restored_scores.size());
+  for (size_t i = 0; i < original_scores.size(); ++i) {
+    EXPECT_EQ(original_scores[i], restored_scores[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelCheckpointTest, LoadRejectsMismatchedArchitecture) {
+  data::DatasetConfig data_config;
+  data_config.num_drugs = 40;
+  auto dataset = data::GenerateDataset(data_config).value();
+  data::FeaturizeConfig feat_config;
+  feat_config.espf_frequency_threshold = 3;
+  auto featurizer =
+      data::SubstructureFeaturizer::Build(dataset.drugs(), feat_config)
+          .value();
+
+  core::Rng rng(5);
+  model::HyGnnConfig small;
+  small.encoder.hidden_dim = 8;
+  small.encoder.output_dim = 8;
+  model::HyGnnModel small_model(featurizer.num_substructures(), small,
+                                &rng);
+  const std::string path = TempPath("small.bin");
+  ASSERT_TRUE(small_model.SaveWeights(path).ok());
+
+  model::HyGnnConfig big;
+  big.encoder.hidden_dim = 32;
+  big.encoder.output_dim = 32;
+  model::HyGnnModel big_model(featurizer.num_substructures(), big, &rng);
+  EXPECT_FALSE(big_model.LoadWeights(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hygnn::tensor

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+
+namespace hygnn::graph {
+namespace {
+
+TEST(GraphStatsTest, TriangleGraph) {
+  Graph g(3, {{0, 1}, {1, 2}, {2, 0}});
+  auto stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_nodes, 3);
+  EXPECT_EQ(stats.num_edges, 3);
+  EXPECT_DOUBLE_EQ(stats.average_degree, 2.0);
+  EXPECT_EQ(stats.max_degree, 2);
+  EXPECT_EQ(stats.isolated_nodes, 0);
+  EXPECT_EQ(stats.connected_components, 1);
+  EXPECT_DOUBLE_EQ(stats.clustering_coefficient, 1.0);
+}
+
+TEST(GraphStatsTest, PathHasNoTriangles) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto stats = ComputeGraphStats(g);
+  EXPECT_DOUBLE_EQ(stats.clustering_coefficient, 0.0);
+  EXPECT_EQ(stats.connected_components, 1);
+}
+
+TEST(GraphStatsTest, DisconnectedPieces) {
+  Graph g(5, {{0, 1}, {2, 3}});
+  auto stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.connected_components, 3);  // {0,1}, {2,3}, {4}
+  EXPECT_EQ(stats.isolated_nodes, 1);
+}
+
+TEST(GraphStatsTest, EmptyGraph) {
+  Graph g(0, {});
+  auto stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_nodes, 0);
+  EXPECT_EQ(stats.connected_components, 0);
+  EXPECT_DOUBLE_EQ(stats.average_degree, 0.0);
+}
+
+TEST(ConnectedComponentsTest, LargestFirstAndSorted) {
+  Graph g(6, {{0, 1}, {1, 2}, {3, 4}});
+  auto components = ConnectedComponents(g);
+  ASSERT_EQ(components.size(), 3u);
+  EXPECT_EQ(components[0], (std::vector<int32_t>{0, 1, 2}));
+  EXPECT_EQ(components[1], (std::vector<int32_t>{3, 4}));
+  EXPECT_EQ(components[2], (std::vector<int32_t>{5}));
+}
+
+TEST(HypergraphStatsTest, BasicCounts) {
+  Hypergraph h(5, {{0, 1, 2}, {1, 2, 3}, {4}});
+  auto stats = ComputeHypergraphStats(h);
+  EXPECT_EQ(stats.num_nodes, 5);
+  EXPECT_EQ(stats.num_edges, 3);
+  EXPECT_EQ(stats.num_incidences, 7);
+  EXPECT_NEAR(stats.average_edge_degree, 7.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats.average_node_degree, 7.0 / 5.0, 1e-12);
+  EXPECT_EQ(stats.max_edge_degree, 3);
+  EXPECT_EQ(stats.max_node_degree, 2);
+  // Nodes 0, 3 and 4 belong to exactly one hyperedge.
+  EXPECT_EQ(stats.private_nodes, 3);
+}
+
+}  // namespace
+}  // namespace hygnn::graph

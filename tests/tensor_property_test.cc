@@ -1,0 +1,125 @@
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "chem/smiles.h"
+#include "core/rng.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace hygnn::tensor {
+namespace {
+
+/// MatMul against a double-precision reference over a shape sweep.
+class MatMulPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulPropertyTest, MatchesReference) {
+  const auto [n, k, m] = GetParam();
+  core::Rng rng(static_cast<uint64_t>(n * 1000 + k * 100 + m));
+  Tensor a = NormalInit(n, k, 1.0f, &rng, false);
+  Tensor b = NormalInit(k, m, 1.0f, &rng, false);
+  Tensor c = MatMul(a, b);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      double reference = 0.0;
+      for (int kk = 0; kk < k; ++kk) {
+        reference += static_cast<double>(a.At(i, kk)) * b.At(kk, j);
+      }
+      EXPECT_NEAR(c.At(i, j), reference, 1e-3 * std::max(1.0,
+                                                         std::fabs(reference)))
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulPropertyTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 7, 3),
+                      std::make_tuple(5, 1, 5), std::make_tuple(8, 8, 8),
+                      std::make_tuple(17, 31, 13),
+                      std::make_tuple(64, 3, 64)));
+
+/// Segment ops against references over random segment patterns.
+class SegmentPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SegmentPropertyTest, SoftmaxAndSumMatchReference) {
+  core::Rng rng(GetParam());
+  const int64_t n = 1 + static_cast<int64_t>(rng.UniformInt(200));
+  const int64_t segments = 1 + static_cast<int64_t>(rng.UniformInt(20));
+  std::vector<int32_t> segment_ids(static_cast<size_t>(n));
+  for (auto& s : segment_ids) {
+    s = static_cast<int32_t>(rng.UniformInt(segments));
+  }
+  Tensor scores = NormalInit(n, 1, 2.0f, &rng, false);
+
+  // Reference softmax per segment (double precision).
+  std::vector<double> seg_sum(static_cast<size_t>(segments), 0.0);
+  std::vector<double> seg_max(static_cast<size_t>(segments), -1e300);
+  for (int64_t i = 0; i < n; ++i) {
+    seg_max[segment_ids[i]] =
+        std::max(seg_max[segment_ids[i]],
+                 static_cast<double>(scores.data()[i]));
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    seg_sum[segment_ids[i]] +=
+        std::exp(scores.data()[i] - seg_max[segment_ids[i]]);
+  }
+  Tensor softmax = SegmentSoftmax(scores, segment_ids, segments);
+  for (int64_t i = 0; i < n; ++i) {
+    const double expected =
+        std::exp(scores.data()[i] - seg_max[segment_ids[i]]) /
+        seg_sum[segment_ids[i]];
+    EXPECT_NEAR(softmax.data()[i], expected, 1e-5);
+  }
+
+  // Reference segment sum.
+  const int64_t d = 1 + static_cast<int64_t>(rng.UniformInt(8));
+  Tensor values = NormalInit(n, d, 1.0f, &rng, false);
+  Tensor summed = SegmentSum(values, segment_ids, segments);
+  for (int64_t s = 0; s < segments; ++s) {
+    for (int64_t j = 0; j < d; ++j) {
+      double expected = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        if (segment_ids[i] == s) expected += values.At(i, j);
+      }
+      EXPECT_NEAR(summed.At(s, j), expected, 1e-4);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+/// Fuzz the SMILES tokenizer: arbitrary byte strings must either fail
+/// cleanly with a Status or tokenize into texts that reconstruct the
+/// input — never crash or mangle.
+class TokenizerFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TokenizerFuzzTest, NeverCrashesAndRoundTrips) {
+  core::Rng rng(GetParam());
+  const char alphabet[] =
+      "CNOSPcnospBrClF[]()=#-+@123456789%.Hh \t!xyZ";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string input;
+    const size_t length = rng.UniformInt(30);
+    for (size_t i = 0; i < length; ++i) {
+      input += alphabet[rng.UniformInt(sizeof(alphabet) - 1)];
+    }
+    auto tokens_or = chem::TokenizeSmiles(input);
+    if (tokens_or.ok()) {
+      std::string reconstructed;
+      for (const auto& t : tokens_or.value()) reconstructed += t.text;
+      EXPECT_EQ(reconstructed, input);
+      // Validation must also terminate without crashing.
+      (void)chem::ValidateSmiles(input);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerFuzzTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace hygnn::tensor

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+#include <cmath>
+#include <memory>
+
+#include "core/rng.h"
+#include "core/stopwatch.h"
+#include "data/featurize.h"
+#include "data/generator.h"
+#include "data/pairs.h"
+#include "graph/builders.h"
+#include "hygnn/model.h"
+#include "hygnn/trainer.h"
+
+namespace hygnn::model {
+namespace {
+
+struct SmallPipeline {
+  SmallPipeline() {
+    data::DatasetConfig data_config;
+    data_config.num_drugs = 100;
+    data_config.seed = 404;
+    dataset = std::make_unique<data::DdiDataset>(
+        data::GenerateDataset(data_config).value());
+    data::FeaturizeConfig feat_config;
+    feat_config.espf_frequency_threshold = 3;
+    featurizer = std::make_unique<data::SubstructureFeaturizer>(
+        data::SubstructureFeaturizer::Build(dataset->drugs(), feat_config)
+            .value());
+    auto hypergraph = graph::BuildDrugHypergraph(
+        featurizer->drug_substructures(), featurizer->num_substructures());
+    context = std::make_unique<HypergraphContext>(
+        HypergraphContext::FromHypergraph(hypergraph));
+    core::Rng rng(405);
+    auto pairs = data::BuildBalancedPairs(*dataset, &rng);
+    split = data::RandomSplit(pairs, 0.7, &rng);
+  }
+
+  HyGnnModel MakeModel(uint64_t seed) const {
+    core::Rng rng(seed);
+    HyGnnConfig config;
+    config.encoder.hidden_dim = 16;
+    config.encoder.output_dim = 16;
+    return HyGnnModel(featurizer->num_substructures(), config, &rng);
+  }
+
+  std::unique_ptr<data::DdiDataset> dataset;
+  std::unique_ptr<data::SubstructureFeaturizer> featurizer;
+  std::unique_ptr<HypergraphContext> context;
+  data::PairSplit split;
+};
+
+TEST(TrainerFeaturesTest, MiniBatchTrainingLearns) {
+  SmallPipeline pipeline;
+  HyGnnModel model = pipeline.MakeModel(1);
+  TrainConfig config;
+  config.epochs = 60;
+  config.batch_size = 256;
+  HyGnnTrainer trainer(&model, config);
+  trainer.Fit(*pipeline.context, pipeline.split.train);
+  auto result = trainer.Evaluate(*pipeline.context, pipeline.split.test);
+  EXPECT_GT(result.roc_auc, 0.7);
+}
+
+TEST(TrainerFeaturesTest, MiniBatchComparableToFullBatch) {
+  SmallPipeline pipeline;
+  HyGnnModel full_model = pipeline.MakeModel(2);
+  TrainConfig full_config;
+  full_config.epochs = 60;
+  HyGnnTrainer full_trainer(&full_model, full_config);
+  full_trainer.Fit(*pipeline.context, pipeline.split.train);
+  auto full = full_trainer.Evaluate(*pipeline.context,
+                                    pipeline.split.test);
+
+  HyGnnModel batch_model = pipeline.MakeModel(2);
+  TrainConfig batch_config;
+  batch_config.epochs = 60;
+  batch_config.batch_size = 256;
+  HyGnnTrainer batch_trainer(&batch_model, batch_config);
+  batch_trainer.Fit(*pipeline.context, pipeline.split.train);
+  auto batched = batch_trainer.Evaluate(*pipeline.context,
+                                        pipeline.split.test);
+  EXPECT_GT(batched.roc_auc, full.roc_auc - 0.1);
+}
+
+TEST(TrainerFeaturesTest, EarlyStoppingTerminates) {
+  SmallPipeline pipeline;
+  HyGnnModel model = pipeline.MakeModel(3);
+  TrainConfig config;
+  config.epochs = 100000;  // would run forever without early stop
+  config.validation_fraction = 0.2;
+  config.patience = 12;
+  HyGnnTrainer trainer(&model, config);
+  core::Stopwatch watch;
+  trainer.Fit(*pipeline.context, pipeline.split.train);
+  // Generous bound: early stopping must kick in long before 100k
+  // full-batch epochs would finish.
+  EXPECT_LT(watch.ElapsedSeconds(), 120.0);
+  auto result = trainer.Evaluate(*pipeline.context, pipeline.split.test);
+  EXPECT_GT(result.roc_auc, 0.6);
+}
+
+TEST(TrainerFeaturesTest, ValidationFoldShrinksTrainingSet) {
+  // With validation_fraction the trainer must still work on a tiny set.
+  SmallPipeline pipeline;
+  HyGnnModel model = pipeline.MakeModel(4);
+  TrainConfig config;
+  config.epochs = 10;
+  config.validation_fraction = 0.5;
+  HyGnnTrainer trainer(&model, config);
+  const float loss = trainer.Fit(*pipeline.context, pipeline.split.train);
+  EXPECT_TRUE(std::isfinite(loss));
+}
+
+}  // namespace
+}  // namespace hygnn::model
