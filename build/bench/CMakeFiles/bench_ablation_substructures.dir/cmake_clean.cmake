@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_substructures.dir/bench_ablation_substructures.cc.o"
+  "CMakeFiles/bench_ablation_substructures.dir/bench_ablation_substructures.cc.o.d"
+  "bench_ablation_substructures"
+  "bench_ablation_substructures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_substructures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

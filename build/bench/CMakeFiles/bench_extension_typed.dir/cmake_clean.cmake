@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_typed.dir/bench_extension_typed.cc.o"
+  "CMakeFiles/bench_extension_typed.dir/bench_extension_typed.cc.o.d"
+  "bench_extension_typed"
+  "bench_extension_typed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_typed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

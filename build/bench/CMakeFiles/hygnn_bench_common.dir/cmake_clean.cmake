@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygnn_bench_common.dir/experiment.cc.o"
+  "CMakeFiles/hygnn_bench_common.dir/experiment.cc.o.d"
+  "libhygnn_bench_common.a"
+  "libhygnn_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygnn_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhygnn_bench_common.a"
+)

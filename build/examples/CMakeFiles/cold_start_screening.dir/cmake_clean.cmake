@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_start_screening.dir/cold_start_screening.cpp.o"
+  "CMakeFiles/cold_start_screening.dir/cold_start_screening.cpp.o.d"
+  "cold_start_screening"
+  "cold_start_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_start_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygnn_cli.dir/hygnn_cli.cpp.o"
+  "CMakeFiles/hygnn_cli.dir/hygnn_cli.cpp.o.d"
+  "hygnn_cli"
+  "hygnn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygnn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

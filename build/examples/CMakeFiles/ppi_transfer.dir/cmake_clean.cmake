@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppi_transfer.dir/ppi_transfer.cpp.o"
+  "CMakeFiles/ppi_transfer.dir/ppi_transfer.cpp.o.d"
+  "ppi_transfer"
+  "ppi_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppi_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

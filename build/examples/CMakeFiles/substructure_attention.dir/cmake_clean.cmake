@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/substructure_attention.dir/substructure_attention.cpp.o"
+  "CMakeFiles/substructure_attention.dir/substructure_attention.cpp.o.d"
+  "substructure_attention"
+  "substructure_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substructure_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygnn_baselines.dir/gnn_baselines.cc.o"
+  "CMakeFiles/hygnn_baselines.dir/gnn_baselines.cc.o.d"
+  "CMakeFiles/hygnn_baselines.dir/ml_baselines.cc.o"
+  "CMakeFiles/hygnn_baselines.dir/ml_baselines.cc.o.d"
+  "CMakeFiles/hygnn_baselines.dir/pair_harness.cc.o"
+  "CMakeFiles/hygnn_baselines.dir/pair_harness.cc.o.d"
+  "CMakeFiles/hygnn_baselines.dir/rwe_baselines.cc.o"
+  "CMakeFiles/hygnn_baselines.dir/rwe_baselines.cc.o.d"
+  "CMakeFiles/hygnn_baselines.dir/similarity_baseline.cc.o"
+  "CMakeFiles/hygnn_baselines.dir/similarity_baseline.cc.o.d"
+  "libhygnn_baselines.a"
+  "libhygnn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygnn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

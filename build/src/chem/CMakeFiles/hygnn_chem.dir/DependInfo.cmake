@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chem/canonical.cc" "src/chem/CMakeFiles/hygnn_chem.dir/canonical.cc.o" "gcc" "src/chem/CMakeFiles/hygnn_chem.dir/canonical.cc.o.d"
+  "/root/repo/src/chem/espf.cc" "src/chem/CMakeFiles/hygnn_chem.dir/espf.cc.o" "gcc" "src/chem/CMakeFiles/hygnn_chem.dir/espf.cc.o.d"
+  "/root/repo/src/chem/fingerprint.cc" "src/chem/CMakeFiles/hygnn_chem.dir/fingerprint.cc.o" "gcc" "src/chem/CMakeFiles/hygnn_chem.dir/fingerprint.cc.o.d"
+  "/root/repo/src/chem/fragments.cc" "src/chem/CMakeFiles/hygnn_chem.dir/fragments.cc.o" "gcc" "src/chem/CMakeFiles/hygnn_chem.dir/fragments.cc.o.d"
+  "/root/repo/src/chem/generator.cc" "src/chem/CMakeFiles/hygnn_chem.dir/generator.cc.o" "gcc" "src/chem/CMakeFiles/hygnn_chem.dir/generator.cc.o.d"
+  "/root/repo/src/chem/kmer.cc" "src/chem/CMakeFiles/hygnn_chem.dir/kmer.cc.o" "gcc" "src/chem/CMakeFiles/hygnn_chem.dir/kmer.cc.o.d"
+  "/root/repo/src/chem/molgraph.cc" "src/chem/CMakeFiles/hygnn_chem.dir/molgraph.cc.o" "gcc" "src/chem/CMakeFiles/hygnn_chem.dir/molgraph.cc.o.d"
+  "/root/repo/src/chem/smiles.cc" "src/chem/CMakeFiles/hygnn_chem.dir/smiles.cc.o" "gcc" "src/chem/CMakeFiles/hygnn_chem.dir/smiles.cc.o.d"
+  "/root/repo/src/chem/strobemer.cc" "src/chem/CMakeFiles/hygnn_chem.dir/strobemer.cc.o" "gcc" "src/chem/CMakeFiles/hygnn_chem.dir/strobemer.cc.o.d"
+  "/root/repo/src/chem/vocab.cc" "src/chem/CMakeFiles/hygnn_chem.dir/vocab.cc.o" "gcc" "src/chem/CMakeFiles/hygnn_chem.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hygnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/hygnn_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygnn_chem.dir/canonical.cc.o"
+  "CMakeFiles/hygnn_chem.dir/canonical.cc.o.d"
+  "CMakeFiles/hygnn_chem.dir/espf.cc.o"
+  "CMakeFiles/hygnn_chem.dir/espf.cc.o.d"
+  "CMakeFiles/hygnn_chem.dir/fingerprint.cc.o"
+  "CMakeFiles/hygnn_chem.dir/fingerprint.cc.o.d"
+  "CMakeFiles/hygnn_chem.dir/fragments.cc.o"
+  "CMakeFiles/hygnn_chem.dir/fragments.cc.o.d"
+  "CMakeFiles/hygnn_chem.dir/generator.cc.o"
+  "CMakeFiles/hygnn_chem.dir/generator.cc.o.d"
+  "CMakeFiles/hygnn_chem.dir/kmer.cc.o"
+  "CMakeFiles/hygnn_chem.dir/kmer.cc.o.d"
+  "CMakeFiles/hygnn_chem.dir/molgraph.cc.o"
+  "CMakeFiles/hygnn_chem.dir/molgraph.cc.o.d"
+  "CMakeFiles/hygnn_chem.dir/smiles.cc.o"
+  "CMakeFiles/hygnn_chem.dir/smiles.cc.o.d"
+  "CMakeFiles/hygnn_chem.dir/strobemer.cc.o"
+  "CMakeFiles/hygnn_chem.dir/strobemer.cc.o.d"
+  "CMakeFiles/hygnn_chem.dir/vocab.cc.o"
+  "CMakeFiles/hygnn_chem.dir/vocab.cc.o.d"
+  "libhygnn_chem.a"
+  "libhygnn_chem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygnn_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

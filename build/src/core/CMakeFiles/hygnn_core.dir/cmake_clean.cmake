@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygnn_core.dir/flags.cc.o"
+  "CMakeFiles/hygnn_core.dir/flags.cc.o.d"
+  "CMakeFiles/hygnn_core.dir/logging.cc.o"
+  "CMakeFiles/hygnn_core.dir/logging.cc.o.d"
+  "CMakeFiles/hygnn_core.dir/rng.cc.o"
+  "CMakeFiles/hygnn_core.dir/rng.cc.o.d"
+  "CMakeFiles/hygnn_core.dir/status.cc.o"
+  "CMakeFiles/hygnn_core.dir/status.cc.o.d"
+  "CMakeFiles/hygnn_core.dir/string_util.cc.o"
+  "CMakeFiles/hygnn_core.dir/string_util.cc.o.d"
+  "libhygnn_core.a"
+  "libhygnn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygnn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

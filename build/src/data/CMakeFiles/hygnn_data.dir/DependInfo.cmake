@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/featurize.cc" "src/data/CMakeFiles/hygnn_data.dir/featurize.cc.o" "gcc" "src/data/CMakeFiles/hygnn_data.dir/featurize.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/hygnn_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/hygnn_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/data/CMakeFiles/hygnn_data.dir/io.cc.o" "gcc" "src/data/CMakeFiles/hygnn_data.dir/io.cc.o.d"
+  "/root/repo/src/data/names.cc" "src/data/CMakeFiles/hygnn_data.dir/names.cc.o" "gcc" "src/data/CMakeFiles/hygnn_data.dir/names.cc.o.d"
+  "/root/repo/src/data/pairs.cc" "src/data/CMakeFiles/hygnn_data.dir/pairs.cc.o" "gcc" "src/data/CMakeFiles/hygnn_data.dir/pairs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hygnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/hygnn_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/hygnn_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

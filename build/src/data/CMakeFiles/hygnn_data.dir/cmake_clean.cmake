@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygnn_data.dir/featurize.cc.o"
+  "CMakeFiles/hygnn_data.dir/featurize.cc.o.d"
+  "CMakeFiles/hygnn_data.dir/generator.cc.o"
+  "CMakeFiles/hygnn_data.dir/generator.cc.o.d"
+  "CMakeFiles/hygnn_data.dir/io.cc.o"
+  "CMakeFiles/hygnn_data.dir/io.cc.o.d"
+  "CMakeFiles/hygnn_data.dir/names.cc.o"
+  "CMakeFiles/hygnn_data.dir/names.cc.o.d"
+  "CMakeFiles/hygnn_data.dir/pairs.cc.o"
+  "CMakeFiles/hygnn_data.dir/pairs.cc.o.d"
+  "libhygnn_data.a"
+  "libhygnn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygnn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

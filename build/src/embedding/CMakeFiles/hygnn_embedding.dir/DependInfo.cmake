@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embedding/sgns.cc" "src/embedding/CMakeFiles/hygnn_embedding.dir/sgns.cc.o" "gcc" "src/embedding/CMakeFiles/hygnn_embedding.dir/sgns.cc.o.d"
+  "/root/repo/src/embedding/walk_embedding.cc" "src/embedding/CMakeFiles/hygnn_embedding.dir/walk_embedding.cc.o" "gcc" "src/embedding/CMakeFiles/hygnn_embedding.dir/walk_embedding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hygnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hygnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hygnn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygnn_embedding.dir/sgns.cc.o"
+  "CMakeFiles/hygnn_embedding.dir/sgns.cc.o.d"
+  "CMakeFiles/hygnn_embedding.dir/walk_embedding.cc.o"
+  "CMakeFiles/hygnn_embedding.dir/walk_embedding.cc.o.d"
+  "libhygnn_embedding.a"
+  "libhygnn_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygnn_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builders.cc" "src/graph/CMakeFiles/hygnn_graph.dir/builders.cc.o" "gcc" "src/graph/CMakeFiles/hygnn_graph.dir/builders.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/hygnn_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/hygnn_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/hypergraph.cc" "src/graph/CMakeFiles/hygnn_graph.dir/hypergraph.cc.o" "gcc" "src/graph/CMakeFiles/hygnn_graph.dir/hypergraph.cc.o.d"
+  "/root/repo/src/graph/random_walk.cc" "src/graph/CMakeFiles/hygnn_graph.dir/random_walk.cc.o" "gcc" "src/graph/CMakeFiles/hygnn_graph.dir/random_walk.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "src/graph/CMakeFiles/hygnn_graph.dir/stats.cc.o" "gcc" "src/graph/CMakeFiles/hygnn_graph.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hygnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hygnn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygnn_graph.dir/builders.cc.o"
+  "CMakeFiles/hygnn_graph.dir/builders.cc.o.d"
+  "CMakeFiles/hygnn_graph.dir/graph.cc.o"
+  "CMakeFiles/hygnn_graph.dir/graph.cc.o.d"
+  "CMakeFiles/hygnn_graph.dir/hypergraph.cc.o"
+  "CMakeFiles/hygnn_graph.dir/hypergraph.cc.o.d"
+  "CMakeFiles/hygnn_graph.dir/random_walk.cc.o"
+  "CMakeFiles/hygnn_graph.dir/random_walk.cc.o.d"
+  "CMakeFiles/hygnn_graph.dir/stats.cc.o"
+  "CMakeFiles/hygnn_graph.dir/stats.cc.o.d"
+  "libhygnn_graph.a"
+  "libhygnn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygnn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygnn_model.dir/decoder.cc.o"
+  "CMakeFiles/hygnn_model.dir/decoder.cc.o.d"
+  "CMakeFiles/hygnn_model.dir/encoder.cc.o"
+  "CMakeFiles/hygnn_model.dir/encoder.cc.o.d"
+  "CMakeFiles/hygnn_model.dir/model.cc.o"
+  "CMakeFiles/hygnn_model.dir/model.cc.o.d"
+  "CMakeFiles/hygnn_model.dir/trainer.cc.o"
+  "CMakeFiles/hygnn_model.dir/trainer.cc.o.d"
+  "CMakeFiles/hygnn_model.dir/typed.cc.o"
+  "CMakeFiles/hygnn_model.dir/typed.cc.o.d"
+  "libhygnn_model.a"
+  "libhygnn_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygnn_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygnn_metrics.dir/metrics.cc.o"
+  "CMakeFiles/hygnn_metrics.dir/metrics.cc.o.d"
+  "libhygnn_metrics.a"
+  "libhygnn_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygnn_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

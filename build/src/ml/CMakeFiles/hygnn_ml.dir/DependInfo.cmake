@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/bitvector.cc" "src/ml/CMakeFiles/hygnn_ml.dir/bitvector.cc.o" "gcc" "src/ml/CMakeFiles/hygnn_ml.dir/bitvector.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/hygnn_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/hygnn_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/ml/CMakeFiles/hygnn_ml.dir/logistic_regression.cc.o" "gcc" "src/ml/CMakeFiles/hygnn_ml.dir/logistic_regression.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hygnn_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

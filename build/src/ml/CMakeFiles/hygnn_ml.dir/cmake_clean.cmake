@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygnn_ml.dir/bitvector.cc.o"
+  "CMakeFiles/hygnn_ml.dir/bitvector.cc.o.d"
+  "CMakeFiles/hygnn_ml.dir/knn.cc.o"
+  "CMakeFiles/hygnn_ml.dir/knn.cc.o.d"
+  "CMakeFiles/hygnn_ml.dir/logistic_regression.cc.o"
+  "CMakeFiles/hygnn_ml.dir/logistic_regression.cc.o.d"
+  "libhygnn_ml.a"
+  "libhygnn_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygnn_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygnn_nn.dir/gnn_layers.cc.o"
+  "CMakeFiles/hygnn_nn.dir/gnn_layers.cc.o.d"
+  "CMakeFiles/hygnn_nn.dir/linear.cc.o"
+  "CMakeFiles/hygnn_nn.dir/linear.cc.o.d"
+  "CMakeFiles/hygnn_nn.dir/mlp.cc.o"
+  "CMakeFiles/hygnn_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/hygnn_nn.dir/module.cc.o"
+  "CMakeFiles/hygnn_nn.dir/module.cc.o.d"
+  "libhygnn_nn.a"
+  "libhygnn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygnn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygnn_tensor.dir/init.cc.o"
+  "CMakeFiles/hygnn_tensor.dir/init.cc.o.d"
+  "CMakeFiles/hygnn_tensor.dir/loss.cc.o"
+  "CMakeFiles/hygnn_tensor.dir/loss.cc.o.d"
+  "CMakeFiles/hygnn_tensor.dir/ops.cc.o"
+  "CMakeFiles/hygnn_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/hygnn_tensor.dir/optimizer.cc.o"
+  "CMakeFiles/hygnn_tensor.dir/optimizer.cc.o.d"
+  "CMakeFiles/hygnn_tensor.dir/serialize.cc.o"
+  "CMakeFiles/hygnn_tensor.dir/serialize.cc.o.d"
+  "CMakeFiles/hygnn_tensor.dir/sparse.cc.o"
+  "CMakeFiles/hygnn_tensor.dir/sparse.cc.o.d"
+  "CMakeFiles/hygnn_tensor.dir/tensor.cc.o"
+  "CMakeFiles/hygnn_tensor.dir/tensor.cc.o.d"
+  "libhygnn_tensor.a"
+  "libhygnn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygnn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhygnn_tensor.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoder_gradcheck_test.dir/encoder_gradcheck_test.cc.o"
+  "CMakeFiles/encoder_gradcheck_test.dir/encoder_gradcheck_test.cc.o.d"
+  "encoder_gradcheck_test"
+  "encoder_gradcheck_test.pdb"
+  "encoder_gradcheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoder_gradcheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espf_kmer_test.dir/espf_kmer_test.cc.o"
+  "CMakeFiles/espf_kmer_test.dir/espf_kmer_test.cc.o.d"
+  "espf_kmer_test"
+  "espf_kmer_test.pdb"
+  "espf_kmer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espf_kmer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

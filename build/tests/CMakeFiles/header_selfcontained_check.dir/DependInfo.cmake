@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/build/tests/header_checks/baselines_baselines.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/baselines_baselines.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/baselines_baselines.cc.o.d"
+  "/root/repo/build/tests/header_checks/baselines_pair_harness.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/baselines_pair_harness.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/baselines_pair_harness.cc.o.d"
+  "/root/repo/build/tests/header_checks/chem_canonical.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/chem_canonical.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/chem_canonical.cc.o.d"
+  "/root/repo/build/tests/header_checks/chem_espf.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/chem_espf.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/chem_espf.cc.o.d"
+  "/root/repo/build/tests/header_checks/chem_fingerprint.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/chem_fingerprint.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/chem_fingerprint.cc.o.d"
+  "/root/repo/build/tests/header_checks/chem_fragments.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/chem_fragments.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/chem_fragments.cc.o.d"
+  "/root/repo/build/tests/header_checks/chem_generator.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/chem_generator.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/chem_generator.cc.o.d"
+  "/root/repo/build/tests/header_checks/chem_kmer.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/chem_kmer.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/chem_kmer.cc.o.d"
+  "/root/repo/build/tests/header_checks/chem_molgraph.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/chem_molgraph.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/chem_molgraph.cc.o.d"
+  "/root/repo/build/tests/header_checks/chem_smiles.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/chem_smiles.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/chem_smiles.cc.o.d"
+  "/root/repo/build/tests/header_checks/chem_strobemer.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/chem_strobemer.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/chem_strobemer.cc.o.d"
+  "/root/repo/build/tests/header_checks/chem_vocab.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/chem_vocab.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/chem_vocab.cc.o.d"
+  "/root/repo/build/tests/header_checks/core_flags.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/core_flags.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/core_flags.cc.o.d"
+  "/root/repo/build/tests/header_checks/core_logging.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/core_logging.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/core_logging.cc.o.d"
+  "/root/repo/build/tests/header_checks/core_rng.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/core_rng.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/core_rng.cc.o.d"
+  "/root/repo/build/tests/header_checks/core_status.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/core_status.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/core_status.cc.o.d"
+  "/root/repo/build/tests/header_checks/core_stopwatch.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/core_stopwatch.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/core_stopwatch.cc.o.d"
+  "/root/repo/build/tests/header_checks/core_string_util.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/core_string_util.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/core_string_util.cc.o.d"
+  "/root/repo/build/tests/header_checks/data_drug.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/data_drug.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/data_drug.cc.o.d"
+  "/root/repo/build/tests/header_checks/data_featurize.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/data_featurize.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/data_featurize.cc.o.d"
+  "/root/repo/build/tests/header_checks/data_generator.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/data_generator.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/data_generator.cc.o.d"
+  "/root/repo/build/tests/header_checks/data_io.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/data_io.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/data_io.cc.o.d"
+  "/root/repo/build/tests/header_checks/data_names.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/data_names.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/data_names.cc.o.d"
+  "/root/repo/build/tests/header_checks/data_pairs.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/data_pairs.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/data_pairs.cc.o.d"
+  "/root/repo/build/tests/header_checks/embedding_sgns.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/embedding_sgns.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/embedding_sgns.cc.o.d"
+  "/root/repo/build/tests/header_checks/embedding_walk_embedding.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/embedding_walk_embedding.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/embedding_walk_embedding.cc.o.d"
+  "/root/repo/build/tests/header_checks/graph_builders.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/graph_builders.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/graph_builders.cc.o.d"
+  "/root/repo/build/tests/header_checks/graph_graph.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/graph_graph.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/graph_graph.cc.o.d"
+  "/root/repo/build/tests/header_checks/graph_hypergraph.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/graph_hypergraph.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/graph_hypergraph.cc.o.d"
+  "/root/repo/build/tests/header_checks/graph_random_walk.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/graph_random_walk.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/graph_random_walk.cc.o.d"
+  "/root/repo/build/tests/header_checks/graph_stats.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/graph_stats.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/graph_stats.cc.o.d"
+  "/root/repo/build/tests/header_checks/hygnn_decoder.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/hygnn_decoder.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/hygnn_decoder.cc.o.d"
+  "/root/repo/build/tests/header_checks/hygnn_encoder.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/hygnn_encoder.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/hygnn_encoder.cc.o.d"
+  "/root/repo/build/tests/header_checks/hygnn_model.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/hygnn_model.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/hygnn_model.cc.o.d"
+  "/root/repo/build/tests/header_checks/hygnn_trainer.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/hygnn_trainer.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/hygnn_trainer.cc.o.d"
+  "/root/repo/build/tests/header_checks/hygnn_typed.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/hygnn_typed.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/hygnn_typed.cc.o.d"
+  "/root/repo/build/tests/header_checks/metrics_metrics.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/metrics_metrics.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/metrics_metrics.cc.o.d"
+  "/root/repo/build/tests/header_checks/ml_bitvector.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/ml_bitvector.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/ml_bitvector.cc.o.d"
+  "/root/repo/build/tests/header_checks/ml_knn.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/ml_knn.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/ml_knn.cc.o.d"
+  "/root/repo/build/tests/header_checks/ml_logistic_regression.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/ml_logistic_regression.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/ml_logistic_regression.cc.o.d"
+  "/root/repo/build/tests/header_checks/nn_gnn_layers.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/nn_gnn_layers.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/nn_gnn_layers.cc.o.d"
+  "/root/repo/build/tests/header_checks/nn_linear.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/nn_linear.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/nn_linear.cc.o.d"
+  "/root/repo/build/tests/header_checks/nn_mlp.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/nn_mlp.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/nn_mlp.cc.o.d"
+  "/root/repo/build/tests/header_checks/nn_module.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/nn_module.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/nn_module.cc.o.d"
+  "/root/repo/build/tests/header_checks/tensor_init.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/tensor_init.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/tensor_init.cc.o.d"
+  "/root/repo/build/tests/header_checks/tensor_loss.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/tensor_loss.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/tensor_loss.cc.o.d"
+  "/root/repo/build/tests/header_checks/tensor_ops.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/tensor_ops.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/tensor_ops.cc.o.d"
+  "/root/repo/build/tests/header_checks/tensor_optimizer.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/tensor_optimizer.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/tensor_optimizer.cc.o.d"
+  "/root/repo/build/tests/header_checks/tensor_serialize.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/tensor_serialize.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/tensor_serialize.cc.o.d"
+  "/root/repo/build/tests/header_checks/tensor_sparse.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/tensor_sparse.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/tensor_sparse.cc.o.d"
+  "/root/repo/build/tests/header_checks/tensor_tensor.cc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/tensor_tensor.cc.o" "gcc" "tests/CMakeFiles/header_selfcontained_check.dir/header_checks/tensor_tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

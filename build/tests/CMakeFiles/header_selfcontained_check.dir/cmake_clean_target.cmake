@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libheader_selfcontained_check.a"
+)

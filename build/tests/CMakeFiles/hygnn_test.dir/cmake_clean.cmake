@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hygnn_test.dir/hygnn_test.cc.o"
+  "CMakeFiles/hygnn_test.dir/hygnn_test.cc.o.d"
+  "hygnn_test"
+  "hygnn_test.pdb"
+  "hygnn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hygnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molgraph_test.dir/molgraph_test.cc.o"
+  "CMakeFiles/molgraph_test.dir/molgraph_test.cc.o.d"
+  "molgraph_test"
+  "molgraph_test.pdb"
+  "molgraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

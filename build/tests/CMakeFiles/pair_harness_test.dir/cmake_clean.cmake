@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pair_harness_test.dir/pair_harness_test.cc.o"
+  "CMakeFiles/pair_harness_test.dir/pair_harness_test.cc.o.d"
+  "pair_harness_test"
+  "pair_harness_test.pdb"
+  "pair_harness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pair_harness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiles_test.dir/smiles_test.cc.o"
+  "CMakeFiles/smiles_test.dir/smiles_test.cc.o.d"
+  "smiles_test"
+  "smiles_test.pdb"
+  "smiles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

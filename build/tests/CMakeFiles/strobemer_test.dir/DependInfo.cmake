@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/strobemer_test.cc" "tests/CMakeFiles/strobemer_test.dir/strobemer_test.cc.o" "gcc" "tests/CMakeFiles/strobemer_test.dir/strobemer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/hygnn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/hygnn/CMakeFiles/hygnn_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/hygnn_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/hygnn_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hygnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hygnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hygnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/hygnn_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/hygnn_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hygnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hygnn_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

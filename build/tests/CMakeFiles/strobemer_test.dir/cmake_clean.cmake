@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strobemer_test.dir/strobemer_test.cc.o"
+  "CMakeFiles/strobemer_test.dir/strobemer_test.cc.o.d"
+  "strobemer_test"
+  "strobemer_test.pdb"
+  "strobemer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strobemer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trainer_features_test.dir/trainer_features_test.cc.o"
+  "CMakeFiles/trainer_features_test.dir/trainer_features_test.cc.o.d"
+  "trainer_features_test"
+  "trainer_features_test.pdb"
+  "trainer_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trainer_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

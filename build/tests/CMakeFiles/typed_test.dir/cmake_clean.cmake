@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typed_test.dir/typed_test.cc.o"
+  "CMakeFiles/typed_test.dir/typed_test.cc.o.d"
+  "typed_test"
+  "typed_test.pdb"
+  "typed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

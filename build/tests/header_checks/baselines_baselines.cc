@@ -1,0 +1,1 @@
+#include "baselines/baselines.h"

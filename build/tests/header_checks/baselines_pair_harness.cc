@@ -1,0 +1,1 @@
+#include "baselines/pair_harness.h"

@@ -1,0 +1,1 @@
+#include "chem/canonical.h"

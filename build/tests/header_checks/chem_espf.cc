@@ -1,0 +1,1 @@
+#include "chem/espf.h"

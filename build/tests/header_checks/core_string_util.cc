@@ -1,0 +1,1 @@
+#include "core/string_util.h"

@@ -1,0 +1,1 @@
+#include "data/generator.h"

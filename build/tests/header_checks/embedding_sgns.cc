@@ -1,0 +1,1 @@
+#include "embedding/sgns.h"

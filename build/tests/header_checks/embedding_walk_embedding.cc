@@ -1,0 +1,1 @@
+#include "embedding/walk_embedding.h"

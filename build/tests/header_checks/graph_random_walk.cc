@@ -1,0 +1,1 @@
+#include "graph/random_walk.h"

@@ -1,0 +1,1 @@
+#include "hygnn/decoder.h"

@@ -1,0 +1,1 @@
+#include "metrics/metrics.h"

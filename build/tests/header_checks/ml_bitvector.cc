@@ -1,0 +1,1 @@
+#include "ml/bitvector.h"

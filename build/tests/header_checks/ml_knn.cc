@@ -1,0 +1,1 @@
+#include "ml/knn.h"

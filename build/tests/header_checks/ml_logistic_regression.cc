@@ -1,0 +1,1 @@
+#include "ml/logistic_regression.h"

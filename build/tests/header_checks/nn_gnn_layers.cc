@@ -1,0 +1,1 @@
+#include "nn/gnn_layers.h"

@@ -1,0 +1,1 @@
+#include "nn/linear.h"

@@ -1,0 +1,1 @@
+#include "nn/mlp.h"

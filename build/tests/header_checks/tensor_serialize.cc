@@ -1,0 +1,1 @@
+#include "tensor/serialize.h"

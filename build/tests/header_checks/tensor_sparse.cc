@@ -1,0 +1,1 @@
+#include "tensor/sparse.h"
