@@ -6,6 +6,7 @@
 //       --out_drugs drugs.csv --out_pairs pairs.csv
 //   hygnn_cli train   --drugs_csv drugs.csv --pairs_csv pairs.csv
 //       --mode espf --epochs 150 --model model.bin
+//       [--numerics_guard]   # report first op producing NaN/Inf
 //   hygnn_cli evaluate --drugs_csv drugs.csv --pairs_csv pairs.csv
 //       --mode espf --model model.bin
 //   hygnn_cli predict --drugs_csv drugs.csv --mode espf
@@ -128,6 +129,7 @@ int CmdTrain(const core::FlagParser& flags) {
   train_config.epochs = static_cast<int32_t>(flags.GetInt("epochs", 150));
   train_config.verbose = true;
   train_config.log_every = 25;
+  train_config.numerics_guard = flags.GetBool("numerics_guard", false);
   model::HyGnnTrainer trainer(&hygnn, train_config);
   const float loss = trainer.Fit(corpus.context, pairs_or.value());
   std::printf("final training loss: %.4f\n", loss);

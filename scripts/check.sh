@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Correctness gate: repo lint + sanitizer-clean test suite.
+#
+#   scripts/check.sh              # lint, then ctest under asan-ubsan
+#   scripts/check.sh tsan         # same under ThreadSanitizer
+#   scripts/check.sh debug        # plain Debug build (HYGNN_DCHECK on)
+#
+# Also runs clang-tidy over src/ when the binary is available; tidy
+# findings are reported but only lint + tests gate the exit status.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PRESET="${1:-asan-ubsan}"
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== lint =="
+python3 scripts/lint.py
+
+echo "== configure (${PRESET}) =="
+cmake --preset "${PRESET}" >/dev/null
+
+echo "== build (${PRESET}) =="
+cmake --build --preset "${PRESET}" -j "${JOBS}"
+
+echo "== test (${PRESET}) =="
+ctest --preset "${PRESET}" -j "${JOBS}"
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy (advisory) =="
+  # The preset build dir has a compile database when the generator
+  # supports it; regenerate one explicitly to be safe.
+  cmake --preset "${PRESET}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  find src -name '*.cc' -print0 |
+    xargs -0 -n 8 clang-tidy -p "build-${PRESET}" --quiet || true
+else
+  echo "== clang-tidy not found; skipping advisory pass =="
+fi
+
+echo "check.sh: OK (${PRESET})"

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Repository convention linter (run by scripts/check.sh and CI).
+
+Checks, over *tracked* files only (git ls-files):
+  1. include guards match the file path (HYGNN_<PATH>_H_, src/ stripped)
+  2. no `using namespace` in headers
+  3. every .cc under src/ is listed in its directory's CMakeLists.txt
+  4. no raw assert( in src/ — use HYGNN_CHECK / HYGNN_DCHECK
+  5. no committed build artifacts (build trees, objects, caches)
+
+Exits 0 when clean, 1 with one line per violation otherwise.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+BUILD_ARTIFACT_PATTERNS = [
+    re.compile(r"^build[^/]*/"),
+    re.compile(r"^cmake-build[^/]*/"),
+    re.compile(r"\.(o|a|so|obj|exe)$"),
+    re.compile(r"(^|/)CMakeCache\.txt$"),
+    re.compile(r"(^|/)CMakeFiles/"),
+    re.compile(r"(^|/)compile_commands\.json$"),
+]
+
+RAW_ASSERT = re.compile(r"(?<![\w_])assert\s*\(")
+USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
+LINE_COMMENT = re.compile(r"//.*$")
+
+
+def tracked_files():
+    out = subprocess.run(
+        ["git", "ls-files"], cwd=REPO, check=True, capture_output=True,
+        text=True)
+    return [line for line in out.stdout.splitlines() if line]
+
+
+def expected_guard(path):
+    """src/tensor/debug.h -> HYGNN_TENSOR_DEBUG_H_ ; tests/gradcheck.h ->
+    HYGNN_TESTS_GRADCHECK_H_ (the src/ prefix is dropped, others kept)."""
+    parts = Path(path).parts
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"\.h$", "", stem)
+    stem = re.sub(r"[^A-Za-z0-9]", "_", stem).upper()
+    return f"HYGNN_{stem}_H_"
+
+
+def check_include_guard(path, text, problems):
+    guard = expected_guard(path)
+    lines = text.splitlines()
+    head = [ln for ln in lines[:10] if ln.strip()]
+    ifndef = next((ln for ln in head if ln.startswith("#ifndef")), None)
+    define = next((ln for ln in head if ln.startswith("#define")), None)
+    if ifndef is None or define is None:
+        problems.append(f"{path}: missing include guard (expected {guard})")
+        return
+    if ifndef.split()[1] != guard or define.split()[1] != guard:
+        problems.append(
+            f"{path}: include guard {ifndef.split()[1]} does not match "
+            f"path (expected {guard})")
+    if not any(guard in ln for ln in lines[-3:] if ln.strip()):
+        problems.append(f"{path}: closing #endif not annotated with {guard}")
+
+
+def check_using_namespace(path, text, problems):
+    for i, line in enumerate(text.splitlines(), 1):
+        code = LINE_COMMENT.sub("", line)
+        if USING_NAMESPACE.search(code):
+            problems.append(
+                f"{path}:{i}: `using namespace` in a header leaks into "
+                "every includer")
+
+
+def check_raw_assert(path, text, problems):
+    for i, line in enumerate(text.splitlines(), 1):
+        code = LINE_COMMENT.sub("", line).replace("static_assert", "")
+        if RAW_ASSERT.search(code):
+            problems.append(
+                f"{path}:{i}: raw assert() — use HYGNN_CHECK (always on) "
+                "or HYGNN_DCHECK (debug only)")
+
+
+def check_cmake_listing(files, problems):
+    cmake_cache = {}
+    for path in files:
+        p = Path(path)
+        if p.suffix != ".cc" or p.parts[0] != "src":
+            continue
+        cmake = p.parent / "CMakeLists.txt"
+        if str(cmake) not in cmake_cache:
+            full = REPO / cmake
+            cmake_cache[str(cmake)] = (
+                full.read_text() if full.exists() else None)
+        text = cmake_cache[str(cmake)]
+        if text is None:
+            problems.append(f"{path}: no {cmake} to register it in")
+        elif not re.search(rf"\b{re.escape(p.name)}\b", text):
+            problems.append(f"{path}: not listed in {cmake}")
+
+
+def check_build_artifacts(files, problems):
+    for path in files:
+        if any(pat.search(path) for pat in BUILD_ARTIFACT_PATTERNS):
+            problems.append(
+                f"{path}: committed build artifact — remove from git "
+                "(build trees are .gitignored)")
+
+
+def main():
+    files = tracked_files()
+    problems = []
+
+    check_build_artifacts(files, problems)
+    check_cmake_listing(files, problems)
+
+    for path in files:
+        p = Path(path)
+        if p.parts[0] not in ("src", "tests", "bench", "examples"):
+            continue
+        if p.suffix not in (".h", ".cc", ".cpp"):
+            continue
+        text = (REPO / p).read_text(encoding="utf-8", errors="replace")
+        if p.suffix == ".h":
+            check_include_guard(path, text, problems)
+            check_using_namespace(path, text, problems)
+        if p.parts[0] == "src":
+            check_raw_assert(path, text, problems)
+
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"lint.py: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"lint.py: clean ({len(files)} tracked files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,4 +57,13 @@ bool FlagParser::GetBool(const std::string& name, bool fallback) const {
   return it->second == "true" || it->second == "1" || it->second == "yes";
 }
 
+bool EnvFlag(const std::string& name, bool fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return fallback;
+  const std::string value(raw);
+  if (value == "1" || value == "true" || value == "yes") return true;
+  if (value == "0" || value == "false" || value == "no") return false;
+  return fallback;
+}
+
 }  // namespace hygnn::core

@@ -37,6 +37,13 @@ class FlagParser {
   std::vector<std::string> positional_;
 };
 
+/// Reads a boolean from the process environment: "1", "true", "yes"
+/// (case-sensitive) enable, "0", "false", "no" disable, anything else
+/// (including unset) yields `fallback`. Lets debug modes such as
+/// HYGNN_NUMERICS_GUARD be switched on without plumbing a flag through
+/// every entry point.
+bool EnvFlag(const std::string& name, bool fallback);
+
 }  // namespace hygnn::core
 
 #endif  // HYGNN_CORE_FLAGS_H_

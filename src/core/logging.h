@@ -78,4 +78,35 @@ class FatalLogMessage {
 #define HYGNN_CHECK_GT(a, b) HYGNN_CHECK((a) > (b))
 #define HYGNN_CHECK_GE(a, b) HYGNN_CHECK((a) >= (b))
 
+/// Debug-only contracts. HYGNN_DCHECK behaves like HYGNN_CHECK when
+/// debug checks are on and compiles to nothing (the condition is parsed
+/// but never evaluated) when they are off, so contracts that scan whole
+/// buffers are free in Release. Enabled by default in builds without
+/// NDEBUG; sanitizer builds force them on via -DHYGNN_DCHECK_ENABLED=1
+/// (see the HYGNN_SANITIZE block in the top-level CMakeLists.txt).
+#ifndef HYGNN_DCHECK_ENABLED
+#ifdef NDEBUG
+#define HYGNN_DCHECK_ENABLED 0
+#else
+#define HYGNN_DCHECK_ENABLED 1
+#endif
+#endif
+
+#if HYGNN_DCHECK_ENABLED
+#define HYGNN_DCHECK(condition) HYGNN_CHECK(condition)
+#else
+// `while (false)` keeps the condition and any streamed message
+// compiling (catching type errors and "used" for -Wunused) while the
+// optimizer deletes the whole statement as dead code.
+#define HYGNN_DCHECK(condition) \
+  while (false) HYGNN_CHECK(condition)
+#endif
+
+#define HYGNN_DCHECK_EQ(a, b) HYGNN_DCHECK((a) == (b))
+#define HYGNN_DCHECK_NE(a, b) HYGNN_DCHECK((a) != (b))
+#define HYGNN_DCHECK_LT(a, b) HYGNN_DCHECK((a) < (b))
+#define HYGNN_DCHECK_LE(a, b) HYGNN_DCHECK((a) <= (b))
+#define HYGNN_DCHECK_GT(a, b) HYGNN_DCHECK((a) > (b))
+#define HYGNN_DCHECK_GE(a, b) HYGNN_DCHECK((a) >= (b))
+
 #endif  // HYGNN_CORE_LOGGING_H_

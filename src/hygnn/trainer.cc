@@ -1,9 +1,12 @@
 #include "hygnn/trainer.h"
 
 #include <limits>
+#include <optional>
 
+#include "core/flags.h"
 #include "core/logging.h"
 #include "core/rng.h"
+#include "tensor/debug.h"
 #include "tensor/loss.h"
 #include "tensor/optimizer.h"
 
@@ -36,6 +39,16 @@ float HyGnnTrainer::Fit(const HypergraphContext& context,
   core::Rng rng(config_.seed);
   tensor::Adam optimizer(model_->Parameters(), config_.learning_rate, 0.9f,
                          0.999f, 1e-8f, config_.weight_decay);
+
+  // Opt-in numerics watchdog: attributes the first NaN/Inf to the op
+  // that produced it and stops training before weights are corrupted.
+  const bool guard_numerics =
+      config_.numerics_guard || core::EnvFlag("HYGNN_NUMERICS_GUARD", false);
+  std::optional<tensor::NumericsGuardScope> guard;
+  if (guard_numerics) {
+    tensor::NumericsGuard::Reset();
+    guard.emplace();
+  }
 
   // Optional validation fold for early stopping.
   std::vector<data::LabeledPair> train = train_pairs;
@@ -77,6 +90,7 @@ float HyGnnTrainer::Fit(const HypergraphContext& context,
         optimizer.Step();
         epoch_loss += loss.item();
         ++batches;
+        if (guard_numerics && tensor::NumericsGuard::triggered()) break;
       }
       last_loss = epoch_loss / static_cast<float>(batches);
     } else {
@@ -91,6 +105,13 @@ float HyGnnTrainer::Fit(const HypergraphContext& context,
       }
       optimizer.Step();
       last_loss = loss.item();
+    }
+
+    if (guard_numerics && tensor::NumericsGuard::triggered()) {
+      HYGNN_LOG(Error) << "numerics guard tripped at epoch " << epoch
+                       << "; stopping training early\n"
+                       << tensor::NumericsGuard::report();
+      break;
     }
 
     if (!validation.empty()) {

@@ -33,6 +33,11 @@ struct TrainConfig {
   bool verbose = false;
   int32_t log_every = 20;
   uint64_t seed = 7;
+  /// Runs training under tensor::NumericsGuard: the first op to produce
+  /// a NaN/Inf is reported with a producer trace and training stops
+  /// before the bad step corrupts the weights. Also enabled by the
+  /// HYGNN_NUMERICS_GUARD=1 environment variable (see core::EnvFlag).
+  bool numerics_guard = false;
 };
 
 /// F1 / ROC-AUC / PR-AUC triple — the paper's reporting columns.

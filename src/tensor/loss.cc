@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "tensor/debug.h"
 #include "tensor/ops.h"
 
 namespace hygnn::tensor {
@@ -14,12 +15,18 @@ Tensor BceWithLogitsLoss(const Tensor& logits,
   HYGNN_CHECK_EQ(logits.rows(), static_cast<int64_t>(targets.size()));
   const int64_t n = logits.rows();
   auto zi = logits.impl();
+  for (float y : targets) {
+    HYGNN_DCHECK(y >= 0.0f && y <= 1.0f)
+        << "BceWithLogitsLoss target " << y << " outside [0, 1]";
+  }
 
   auto out = std::make_shared<TensorImpl>();
+  out->op = "BceWithLogitsLoss";
   out->rows = 1;
   out->cols = 1;
   out->data.assign(1, 0.0f);
   out->requires_grad = zi->requires_grad;
+  if (out->requires_grad) out->parents = {zi};
 
   double acc = 0.0;
   for (int64_t i = 0; i < n; ++i) {
@@ -30,7 +37,6 @@ Tensor BceWithLogitsLoss(const Tensor& logits,
   out->data[0] = static_cast<float>(acc / static_cast<double>(n));
 
   if (out->requires_grad) {
-    out->parents = {zi};
     TensorImpl* oi = out.get();
     auto targets_copy = targets;
     out->backward_fn = [zi, oi, targets_copy, n]() {
@@ -51,6 +57,7 @@ Tensor BceWithLogitsLoss(const Tensor& logits,
       }
     };
   }
+  GuardOpResult(out);
   return Tensor(out);
 }
 
@@ -60,6 +67,12 @@ Tensor BceLoss(const Tensor& probs, const std::vector<float>& targets,
   HYGNN_CHECK_EQ(probs.cols(), 1);
   HYGNN_CHECK_EQ(probs.rows(), static_cast<int64_t>(targets.size()));
   const int64_t n = probs.rows();
+  HYGNN_DCHECK(AllFinite(probs.data(), n))
+      << "BceLoss probabilities contain NaN/Inf";
+  for (float t : targets) {
+    HYGNN_DCHECK(t >= 0.0f && t <= 1.0f)
+        << "BceLoss target " << t << " outside [0, 1]";
+  }
   Tensor y = Tensor::FromVector(targets, n, 1);
   Tensor one = Tensor::Full(n, 1, 1.0f);
   // -(y*log(p) + (1-y)*log(1-p)) averaged.
@@ -87,10 +100,12 @@ Tensor SoftmaxCrossEntropyLoss(const Tensor& logits,
   }
   auto zi = logits.impl();
   auto out = std::make_shared<TensorImpl>();
+  out->op = "SoftmaxCrossEntropyLoss";
   out->rows = 1;
   out->cols = 1;
   out->data.assign(1, 0.0f);
   out->requires_grad = zi->requires_grad;
+  if (out->requires_grad) out->parents = {zi};
 
   // Cache the softmax for the backward pass.
   auto softmax = std::make_shared<std::vector<float>>(
@@ -117,7 +132,6 @@ Tensor SoftmaxCrossEntropyLoss(const Tensor& logits,
   out->data[0] = static_cast<float>(total / static_cast<double>(n));
 
   if (out->requires_grad) {
-    out->parents = {zi};
     TensorImpl* oi = out.get();
     auto labels_copy = labels;
     out->backward_fn = [zi, oi, softmax, labels_copy, n, k]() {
@@ -133,6 +147,7 @@ Tensor SoftmaxCrossEntropyLoss(const Tensor& logits,
       }
     };
   }
+  GuardOpResult(out);
   return Tensor(out);
 }
 

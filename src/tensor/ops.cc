@@ -4,16 +4,20 @@
 #include <limits>
 
 #include "core/logging.h"
+#include "tensor/debug.h"
 
 namespace hygnn::tensor {
 
 namespace {
 
 /// Allocates the output node for a unary/binary op and wires parents.
+/// `op` must be a static string; it labels the node for NumericsGuard /
+/// GraphLint reports.
 std::shared_ptr<TensorImpl> MakeOutput(
-    int64_t rows, int64_t cols,
+    const char* op, int64_t rows, int64_t cols,
     std::vector<std::shared_ptr<TensorImpl>> parents) {
   auto out = std::make_shared<TensorImpl>();
+  out->op = op;
   out->rows = rows;
   out->cols = cols;
   out->data.assign(static_cast<size_t>(rows * cols), 0.0f);
@@ -29,6 +33,13 @@ bool NeedsGrad(const std::shared_ptr<TensorImpl>& node) {
   return node->requires_grad;
 }
 
+/// Every op returns through here after its forward value is written so
+/// NumericsGuard can attribute the first NaN/Inf to the producing op.
+Tensor FinishOp(std::shared_ptr<TensorImpl> out) {
+  GuardOpResult(out);
+  return Tensor(std::move(out));
+}
+
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -36,7 +47,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   HYGNN_CHECK_EQ(a.cols(), b.rows());
   const int64_t n = a.rows(), k = a.cols(), m = b.cols();
   auto ai = a.impl(), bi = b.impl();
-  auto out = MakeOutput(n, m, {ai, bi});
+  auto out = MakeOutput("MatMul", n, m, {ai, bi});
   // ikj loop order for cache-friendly row-major access.
   const float* A = ai->data.data();
   const float* B = bi->data.data();
@@ -87,14 +98,14 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       }
     };
   }
-  return Tensor(out);
+  return FinishOp(std::move(out));
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   HYGNN_CHECK(a.defined() && b.defined());
   HYGNN_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
   auto ai = a.impl(), bi = b.impl();
-  auto out = MakeOutput(a.rows(), a.cols(), {ai, bi});
+  auto out = MakeOutput("Add", a.rows(), a.cols(), {ai, bi});
   const int64_t total = out->size();
   for (int64_t i = 0; i < total; ++i) {
     out->data[i] = ai->data[i] + bi->data[i];
@@ -113,7 +124,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
       }
     };
   }
-  return Tensor(out);
+  return FinishOp(std::move(out));
 }
 
 Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias) {
@@ -122,7 +133,7 @@ Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias) {
   HYGNN_CHECK_EQ(bias.cols(), x.cols());
   auto xi = x.impl(), bi = bias.impl();
   const int64_t n = x.rows(), d = x.cols();
-  auto out = MakeOutput(n, d, {xi, bi});
+  auto out = MakeOutput("AddRowBroadcast", n, d, {xi, bi});
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t j = 0; j < d; ++j) {
       out->data[i * d + j] = xi->data[i * d + j] + bi->data[j];
@@ -145,14 +156,14 @@ Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias) {
       }
     };
   }
-  return Tensor(out);
+  return FinishOp(std::move(out));
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   HYGNN_CHECK(a.defined() && b.defined());
   HYGNN_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
   auto ai = a.impl(), bi = b.impl();
-  auto out = MakeOutput(a.rows(), a.cols(), {ai, bi});
+  auto out = MakeOutput("Sub", a.rows(), a.cols(), {ai, bi});
   const int64_t total = out->size();
   for (int64_t i = 0; i < total; ++i) {
     out->data[i] = ai->data[i] - bi->data[i];
@@ -171,14 +182,14 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
       }
     };
   }
-  return Tensor(out);
+  return FinishOp(std::move(out));
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   HYGNN_CHECK(a.defined() && b.defined());
   HYGNN_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
   auto ai = a.impl(), bi = b.impl();
-  auto out = MakeOutput(a.rows(), a.cols(), {ai, bi});
+  auto out = MakeOutput("Mul", a.rows(), a.cols(), {ai, bi});
   const int64_t total = out->size();
   for (int64_t i = 0; i < total; ++i) {
     out->data[i] = ai->data[i] * bi->data[i];
@@ -201,13 +212,14 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
       }
     };
   }
-  return Tensor(out);
+  return FinishOp(std::move(out));
 }
 
 Tensor Scale(const Tensor& x, float s) {
   HYGNN_CHECK(x.defined());
+  HYGNN_DCHECK(std::isfinite(s)) << "Scale by non-finite constant " << s;
   auto xi = x.impl();
-  auto out = MakeOutput(x.rows(), x.cols(), {xi});
+  auto out = MakeOutput("Scale", x.rows(), x.cols(), {xi});
   const int64_t total = out->size();
   for (int64_t i = 0; i < total; ++i) out->data[i] = xi->data[i] * s;
   if (out->requires_grad) {
@@ -218,7 +230,7 @@ Tensor Scale(const Tensor& x, float s) {
       for (int64_t i = 0; i < total; ++i) xi->grad[i] += oi->grad[i] * s;
     };
   }
-  return Tensor(out);
+  return FinishOp(std::move(out));
 }
 
 Tensor MulColumnBroadcast(const Tensor& x, const Tensor& w) {
@@ -227,7 +239,7 @@ Tensor MulColumnBroadcast(const Tensor& x, const Tensor& w) {
   HYGNN_CHECK_EQ(w.rows(), x.rows());
   auto xi = x.impl(), wi = w.impl();
   const int64_t n = x.rows(), d = x.cols();
-  auto out = MakeOutput(n, d, {xi, wi});
+  auto out = MakeOutput("MulColumnBroadcast", n, d, {xi, wi});
   for (int64_t i = 0; i < n; ++i) {
     const float wv = wi->data[i];
     for (int64_t j = 0; j < d; ++j) {
@@ -259,7 +271,7 @@ Tensor MulColumnBroadcast(const Tensor& x, const Tensor& w) {
       }
     };
   }
-  return Tensor(out);
+  return FinishOp(std::move(out));
 }
 
 Tensor ConcatCols(const Tensor& a, const Tensor& b) {
@@ -267,7 +279,7 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   HYGNN_CHECK_EQ(a.rows(), b.rows());
   auto ai = a.impl(), bi = b.impl();
   const int64_t n = a.rows(), d1 = a.cols(), d2 = b.cols();
-  auto out = MakeOutput(n, d1 + d2, {ai, bi});
+  auto out = MakeOutput("ConcatCols", n, d1 + d2, {ai, bi});
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t j = 0; j < d1; ++j) {
       out->data[i * (d1 + d2) + j] = ai->data[i * d1 + j];
@@ -298,7 +310,7 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
       }
     };
   }
-  return Tensor(out);
+  return FinishOp(std::move(out));
 }
 
 Tensor IndexSelectRows(const Tensor& x, const std::vector<int32_t>& indices) {
@@ -310,7 +322,7 @@ Tensor IndexSelectRows(const Tensor& x, const std::vector<int32_t>& indices) {
   for (int32_t idx : indices) {
     HYGNN_CHECK(idx >= 0 && idx < x.rows());
   }
-  auto out = MakeOutput(n, d, {xi});
+  auto out = MakeOutput("IndexSelectRows", n, d, {xi});
   for (int64_t i = 0; i < n; ++i) {
     const float* src = xi->data.data() + static_cast<int64_t>(indices[i]) * d;
     float* dst = out->data.data() + i * d;
@@ -329,7 +341,7 @@ Tensor IndexSelectRows(const Tensor& x, const std::vector<int32_t>& indices) {
       }
     };
   }
-  return Tensor(out);
+  return FinishOp(std::move(out));
 }
 
 Tensor SegmentSoftmax(const Tensor& scores,
@@ -340,7 +352,7 @@ Tensor SegmentSoftmax(const Tensor& scores,
   HYGNN_CHECK_EQ(scores.rows(), static_cast<int64_t>(segment_ids.size()));
   const int64_t n = scores.rows();
   auto si = scores.impl();
-  auto out = MakeOutput(n, 1, {si});
+  auto out = MakeOutput("SegmentSoftmax", n, 1, {si});
 
   std::vector<float> seg_max(static_cast<size_t>(num_segments),
                              -std::numeric_limits<float>::infinity());
@@ -376,7 +388,7 @@ Tensor SegmentSoftmax(const Tensor& scores,
       }
     };
   }
-  return Tensor(out);
+  return FinishOp(std::move(out));
 }
 
 Tensor SegmentSum(const Tensor& x, const std::vector<int32_t>& segment_ids,
@@ -385,7 +397,7 @@ Tensor SegmentSum(const Tensor& x, const std::vector<int32_t>& segment_ids,
   HYGNN_CHECK_EQ(x.rows(), static_cast<int64_t>(segment_ids.size()));
   const int64_t n = x.rows(), d = x.cols();
   auto xi = x.impl();
-  auto out = MakeOutput(num_segments, d, {xi});
+  auto out = MakeOutput("SegmentSum", num_segments, d, {xi});
   for (int64_t i = 0; i < n; ++i) {
     const int32_t s = segment_ids[i];
     HYGNN_CHECK(s >= 0 && s < num_segments);
@@ -407,7 +419,7 @@ Tensor SegmentSum(const Tensor& x, const std::vector<int32_t>& segment_ids,
       }
     };
   }
-  return Tensor(out);
+  return FinishOp(std::move(out));
 }
 
 Tensor RowwiseDot(const Tensor& a, const Tensor& b) {
@@ -415,7 +427,7 @@ Tensor RowwiseDot(const Tensor& a, const Tensor& b) {
   HYGNN_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
   const int64_t n = a.rows(), d = a.cols();
   auto ai = a.impl(), bi = b.impl();
-  auto out = MakeOutput(n, 1, {ai, bi});
+  auto out = MakeOutput("RowwiseDot", n, 1, {ai, bi});
   for (int64_t i = 0; i < n; ++i) {
     float acc = 0.0f;
     for (int64_t j = 0; j < d; ++j) {
@@ -447,13 +459,13 @@ Tensor RowwiseDot(const Tensor& a, const Tensor& b) {
       }
     };
   }
-  return Tensor(out);
+  return FinishOp(std::move(out));
 }
 
 Tensor ReduceSum(const Tensor& x) {
   HYGNN_CHECK(x.defined());
   auto xi = x.impl();
-  auto out = MakeOutput(1, 1, {xi});
+  auto out = MakeOutput("ReduceSum", 1, 1, {xi});
   const int64_t total = xi->size();
   float acc = 0.0f;
   for (int64_t i = 0; i < total; ++i) acc += xi->data[i];
@@ -467,7 +479,7 @@ Tensor ReduceSum(const Tensor& x) {
       for (int64_t i = 0; i < total; ++i) xi->grad[i] += g;
     };
   }
-  return Tensor(out);
+  return FinishOp(std::move(out));
 }
 
 Tensor ReduceMean(const Tensor& x) {
@@ -480,10 +492,10 @@ namespace {
 /// Shared implementation for elementwise unary ops. `fwd` maps x->y,
 /// `dydx` maps (x, y)->dy/dx.
 template <typename Fwd, typename Dydx>
-Tensor UnaryOp(const Tensor& x, Fwd fwd, Dydx dydx) {
+Tensor UnaryOp(const char* op, const Tensor& x, Fwd fwd, Dydx dydx) {
   HYGNN_CHECK(x.defined());
   auto xi = x.impl();
-  auto out = MakeOutput(x.rows(), x.cols(), {xi});
+  auto out = MakeOutput(op, x.rows(), x.cols(), {xi});
   const int64_t total = out->size();
   for (int64_t i = 0; i < total; ++i) out->data[i] = fwd(xi->data[i]);
   if (out->requires_grad) {
@@ -496,26 +508,27 @@ Tensor UnaryOp(const Tensor& x, Fwd fwd, Dydx dydx) {
       }
     };
   }
-  return Tensor(out);
+  return FinishOp(std::move(out));
 }
 
 }  // namespace
 
 Tensor Relu(const Tensor& x) {
   return UnaryOp(
-      x, [](float v) { return v > 0.0f ? v : 0.0f; },
+      "Relu", x, [](float v) { return v > 0.0f ? v : 0.0f; },
       [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; });
 }
 
 Tensor LeakyRelu(const Tensor& x, float slope) {
+  HYGNN_DCHECK(std::isfinite(slope));
   return UnaryOp(
-      x, [slope](float v) { return v >= 0.0f ? v : slope * v; },
+      "LeakyRelu", x, [slope](float v) { return v >= 0.0f ? v : slope * v; },
       [slope](float v, float) { return v >= 0.0f ? 1.0f : slope; });
 }
 
 Tensor Sigmoid(const Tensor& x) {
   return UnaryOp(
-      x,
+      "Sigmoid", x,
       [](float v) {
         if (v >= 0.0f) {
           const float z = std::exp(-v);
@@ -528,18 +541,19 @@ Tensor Sigmoid(const Tensor& x) {
 }
 
 Tensor Tanh(const Tensor& x) {
-  return UnaryOp(x, [](float v) { return std::tanh(v); },
+  return UnaryOp("Tanh", x, [](float v) { return std::tanh(v); },
                  [](float, float y) { return 1.0f - y * y; });
 }
 
 Tensor Exp(const Tensor& x) {
-  return UnaryOp(x, [](float v) { return std::exp(v); },
+  return UnaryOp("Exp", x, [](float v) { return std::exp(v); },
                  [](float, float y) { return y; });
 }
 
 Tensor Log(const Tensor& x, float eps) {
+  HYGNN_DCHECK_GE(eps, 0.0f);
   return UnaryOp(
-      x, [eps](float v) { return std::log(std::max(v, eps)); },
+      "Log", x, [eps](float v) { return std::log(std::max(v, eps)); },
       [eps](float v, float) { return 1.0f / std::max(v, eps); });
 }
 
@@ -549,7 +563,7 @@ Tensor Dropout(const Tensor& x, float p, bool training, core::Rng* rng) {
   if (!training || p == 0.0f) return x;
   HYGNN_CHECK(rng != nullptr);
   auto xi = x.impl();
-  auto out = MakeOutput(x.rows(), x.cols(), {xi});
+  auto out = MakeOutput("Dropout", x.rows(), x.cols(), {xi});
   const int64_t total = out->size();
   const float keep_scale = 1.0f / (1.0f - p);
   auto mask = std::make_shared<std::vector<float>>(total, 0.0f);
@@ -567,14 +581,15 @@ Tensor Dropout(const Tensor& x, float p, bool training, core::Rng* rng) {
       }
     };
   }
-  return Tensor(out);
+  return FinishOp(std::move(out));
 }
 
 Tensor L2NormalizeRows(const Tensor& x, float eps) {
   HYGNN_CHECK(x.defined());
+  HYGNN_DCHECK_GT(eps, 0.0f);
   auto xi = x.impl();
   const int64_t n = x.rows(), d = x.cols();
-  auto out = MakeOutput(n, d, {xi});
+  auto out = MakeOutput("L2NormalizeRows", n, d, {xi});
   auto norms = std::make_shared<std::vector<float>>(n, 0.0f);
   for (int64_t i = 0; i < n; ++i) {
     float acc = 0.0f;
@@ -607,14 +622,14 @@ Tensor L2NormalizeRows(const Tensor& x, float eps) {
       }
     };
   }
-  return Tensor(out);
+  return FinishOp(std::move(out));
 }
 
 Tensor RowSoftmax(const Tensor& x) {
   HYGNN_CHECK(x.defined());
   const int64_t n = x.rows(), k = x.cols();
   auto xi = x.impl();
-  auto out = MakeOutput(n, k, {xi});
+  auto out = MakeOutput("RowSoftmax", n, k, {xi});
   for (int64_t i = 0; i < n; ++i) {
     float row_max = -std::numeric_limits<float>::infinity();
     for (int64_t j = 0; j < k; ++j) {
@@ -644,13 +659,14 @@ Tensor RowSoftmax(const Tensor& x) {
       }
     };
   }
-  return Tensor(out);
+  return FinishOp(std::move(out));
 }
 
 Tensor TransposeNoGrad(const Tensor& x) {
   HYGNN_CHECK(x.defined());
   const int64_t n = x.rows(), d = x.cols();
   Tensor out = Tensor::Zeros(d, n);
+  out.impl()->op = "TransposeNoGrad";
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t j = 0; j < d; ++j) {
       out.Set(j, i, x.At(i, j));

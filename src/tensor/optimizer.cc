@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "tensor/debug.h"
 
 namespace hygnn::tensor {
 
@@ -40,11 +41,17 @@ float Optimizer::ClipGradNorm(float max_norm) {
 }
 
 Sgd::Sgd(std::vector<Tensor> parameters, float lr, float weight_decay)
-    : Optimizer(std::move(parameters)), lr_(lr), weight_decay_(weight_decay) {}
+    : Optimizer(std::move(parameters)), lr_(lr), weight_decay_(weight_decay) {
+  HYGNN_DCHECK(std::isfinite(lr) && lr > 0.0f) << "Sgd lr " << lr;
+  HYGNN_DCHECK(std::isfinite(weight_decay) && weight_decay >= 0.0f);
+}
 
 void Sgd::Step() {
   for (auto& p : parameters_) {
     if (!p.has_grad()) continue;
+    HYGNN_DCHECK(AllFinite(p.grad(), p.size()))
+        << "Sgd::Step: non-finite gradient in parameter " << p.ToString()
+        << " — enable NumericsGuard to find the producing op";
     float* w = p.data();
     const float* g = p.grad();
     for (int64_t i = 0; i < p.size(); ++i) {
@@ -61,6 +68,10 @@ Adam::Adam(std::vector<Tensor> parameters, float lr, float beta1, float beta2,
       beta2_(beta2),
       eps_(eps),
       weight_decay_(weight_decay) {
+  HYGNN_DCHECK(std::isfinite(lr) && lr > 0.0f) << "Adam lr " << lr;
+  HYGNN_DCHECK(beta1 >= 0.0f && beta1 < 1.0f) << "Adam beta1 " << beta1;
+  HYGNN_DCHECK(beta2 >= 0.0f && beta2 < 1.0f) << "Adam beta2 " << beta2;
+  HYGNN_DCHECK(eps > 0.0f) << "Adam eps " << eps;
   m_.resize(parameters_.size());
   v_.resize(parameters_.size());
   for (size_t i = 0; i < parameters_.size(); ++i) {
@@ -76,6 +87,9 @@ void Adam::Step() {
   for (size_t pi = 0; pi < parameters_.size(); ++pi) {
     auto& p = parameters_[pi];
     if (!p.has_grad()) continue;
+    HYGNN_DCHECK(AllFinite(p.grad(), p.size()))
+        << "Adam::Step: non-finite gradient in parameter " << p.ToString()
+        << " — enable NumericsGuard to find the producing op";
     float* w = p.data();
     const float* g = p.grad();
     for (int64_t i = 0; i < p.size(); ++i) {

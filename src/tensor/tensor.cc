@@ -78,7 +78,10 @@ void Tensor::Backward() {
   // order is post-order (children before parents in graph-edge sense);
   // reverse it so the root runs first.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    if ((*it)->backward_fn) (*it)->backward_fn();
+    if ((*it)->backward_fn) {
+      ++(*it)->backward_runs;
+      (*it)->backward_fn();
+    }
   }
 }
 

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "core/logging.h"
+
 namespace hygnn::tensor {
 
 /// Internal storage and autograd node for a Tensor. Holds the value, the
@@ -22,6 +24,16 @@ struct TensorImpl {
   /// Propagates this node's gradient into its parents' gradients.
   std::function<void()> backward_fn;
   std::vector<std::shared_ptr<TensorImpl>> parents;
+
+  /// Name of the operator that produced this node ("leaf" for inputs and
+  /// parameters). Static strings only; used by NumericsGuard reports and
+  /// GraphLint (see tensor/debug.h).
+  const char* op = "leaf";
+
+  /// How many times Backward() has run this node's backward_fn. A value
+  /// above 1 means gradients were double-accumulated through this node
+  /// (flagged by GraphLint).
+  int32_t backward_runs = 0;
 
   int64_t size() const { return rows * cols; }
 
@@ -62,10 +74,22 @@ class Tensor {
 
   bool defined() const { return impl_ != nullptr; }
 
-  int64_t rows() const { return impl_->rows; }
-  int64_t cols() const { return impl_->cols; }
-  int64_t size() const { return impl_->size(); }
-  bool requires_grad() const { return impl_->requires_grad; }
+  int64_t rows() const {
+    HYGNN_DCHECK(defined()) << "rows() on a null tensor";
+    return impl_->rows;
+  }
+  int64_t cols() const {
+    HYGNN_DCHECK(defined()) << "cols() on a null tensor";
+    return impl_->cols;
+  }
+  int64_t size() const {
+    HYGNN_DCHECK(defined()) << "size() on a null tensor";
+    return impl_->size();
+  }
+  bool requires_grad() const {
+    HYGNN_DCHECK(defined()) << "requires_grad() on a null tensor";
+    return impl_->requires_grad;
+  }
 
   float* data() { return impl_->data.data(); }
   const float* data() const { return impl_->data.data(); }

@@ -154,6 +154,69 @@ TEST(GradCheckTest, SegmentSum) {
       });
 }
 
+TEST(GradCheckTest, SegmentSoftmaxWithEmptySegments) {
+  // Segments 1 and 3 have no rows: the softmax must skip them in both
+  // passes and the gradient must stay exact for the populated ones.
+  std::vector<int32_t> segments{0, 0, 2, 2, 4};
+  Tensor mix = FixedRandom(5, 1, 91, false);
+  ExpectGradMatchesNumeric(
+      [] { return FixedRandom(5, 1, 13); },
+      [&](const Tensor& scores) {
+        return ReduceSum(Mul(SegmentSoftmax(scores, segments, 5), mix));
+      });
+}
+
+TEST(GradCheckTest, SegmentSoftmaxSingleElementSegments) {
+  // Every segment has exactly one row, so each softmax output is the
+  // constant 1 and the analytic gradient must vanish (y*(g - g*y) = 0).
+  std::vector<int32_t> segments{0, 1, 2};
+  Tensor mix = FixedRandom(3, 1, 92, false);
+  ExpectGradMatchesNumeric(
+      [] { return FixedRandom(3, 1, 14); },
+      [&](const Tensor& scores) {
+        return ReduceSum(Mul(SegmentSoftmax(scores, segments, 3), mix));
+      });
+}
+
+TEST(GradCheckTest, SegmentSoftmaxSingleSegmentMatchesRowSoftmax) {
+  // One segment covering every row: segment softmax degenerates to a
+  // plain softmax over the column.
+  std::vector<int32_t> segments{0, 0, 0, 0};
+  Tensor mix = FixedRandom(4, 1, 93, false);
+  ExpectGradMatchesNumeric(
+      [] { return FixedRandom(4, 1, 15); },
+      [&](const Tensor& scores) {
+        return ReduceSum(Mul(SegmentSoftmax(scores, segments, 1), mix));
+      });
+}
+
+TEST(GradCheckTest, SegmentSumWithEmptyAndSingleSegments) {
+  // Segment 1 is empty, segments 0 and 3 have one row each, segment 2
+  // has two; gradients must scatter back through the gaps untouched.
+  std::vector<int32_t> segments{0, 2, 2, 3};
+  ExpectGradMatchesNumeric(
+      [] { return FixedRandom(4, 2, 16); },
+      [&](const Tensor& x) {
+        Tensor summed = SegmentSum(x, segments, 4);
+        return ReduceSum(Mul(summed, summed));
+      });
+}
+
+TEST(SegmentOpsTest, EmptySegmentForwardIsZero) {
+  // Forward-only contract: rows of an empty segment do not exist, the
+  // summed accumulator stays zero, and softmax outputs stay normalized
+  // within their own segment.
+  Tensor x = Tensor::FromVector({1.0f, 2.0f, 3.0f}, 3, 1);
+  std::vector<int32_t> segments{0, 0, 2};
+  Tensor summed = SegmentSum(x, segments, 3);
+  EXPECT_FLOAT_EQ(summed.At(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(summed.At(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(summed.At(2, 0), 3.0f);
+  Tensor soft = SegmentSoftmax(x, segments, 3);
+  EXPECT_NEAR(soft.At(0, 0) + soft.At(1, 0), 1.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(soft.At(2, 0), 1.0f);
+}
+
 TEST(GradCheckTest, RowwiseDot) {
   Tensor b = FixedRandom(3, 2, 89, false);
   ExpectGradMatchesNumeric(

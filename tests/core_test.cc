@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -235,6 +236,17 @@ TEST(FlagParserTest, DoubleValues) {
   FlagParser parser;
   ASSERT_TRUE(parser.Parse(2, argv).ok());
   EXPECT_DOUBLE_EQ(parser.GetDouble("rate", 0.0), 0.25);
+}
+
+TEST(EnvFlagTest, ParsesTruthyFalsyAndFallsBack) {
+  ASSERT_EQ(setenv("HYGNN_TEST_ENV_FLAG", "1", 1), 0);
+  EXPECT_TRUE(EnvFlag("HYGNN_TEST_ENV_FLAG", false));
+  ASSERT_EQ(setenv("HYGNN_TEST_ENV_FLAG", "no", 1), 0);
+  EXPECT_FALSE(EnvFlag("HYGNN_TEST_ENV_FLAG", true));
+  ASSERT_EQ(setenv("HYGNN_TEST_ENV_FLAG", "garbage", 1), 0);
+  EXPECT_TRUE(EnvFlag("HYGNN_TEST_ENV_FLAG", true));
+  ASSERT_EQ(unsetenv("HYGNN_TEST_ENV_FLAG"), 0);
+  EXPECT_FALSE(EnvFlag("HYGNN_TEST_ENV_FLAG", false));
 }
 
 }  // namespace
