@@ -1,13 +1,27 @@
-// google-benchmark micro harness for the substrate operations that
-// dominate HyGNN training: dense matmul, sparse-dense SpMM, the segment
-// attention primitives, ESPF mining/segmentation, hypergraph
-// construction, and random-walk generation.
+// Micro harness for the substrate operations that dominate HyGNN
+// training: dense matmul, sparse-dense SpMM, the segment attention
+// primitives, ESPF mining/segmentation, hypergraph construction, and
+// random-walk generation.
+//
+// Default run: a thread-scaling sweep over the parallelized kernels
+// (MatMul, SegmentSoftmax, SegmentSum, IndexSelectRows, Relu) at 1, 2,
+// and 4 threads, verifying bit-identical outputs against the 1-thread
+// reference and writing machine-readable JSON to BENCH_micro_ops.json
+// (override with --json_out=PATH). Pass --gbench to additionally run
+// the google-benchmark suite below (plus any --benchmark_* flags).
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "chem/espf.h"
 #include "chem/generator.h"
 #include "core/rng.h"
+#include "core/stopwatch.h"
+#include "core/thread_pool.h"
 #include "data/featurize.h"
 #include "data/generator.h"
 #include "graph/builders.h"
@@ -188,7 +202,182 @@ void BM_BiasedRandomWalks(benchmark::State& state) {
 }
 BENCHMARK(BM_BiasedRandomWalks);
 
+// ---------------------------------------------------------------------------
+// Thread-scaling JSON harness (the repo's bench trajectory record)
+// ---------------------------------------------------------------------------
+
+/// One timed configuration of one op.
+struct ScalingResult {
+  std::string op;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int32_t threads = 0;
+  double ns_per_iter = 0.0;
+  double speedup_vs_1t = 1.0;
+  bool bit_identical = true;
+};
+
+/// Times `run` (which returns the op's output buffer for the identity
+/// check) until ~200 ms of samples or 64 iterations, whichever first.
+template <typename Fn>
+double TimeNsPerIter(Fn run) {
+  run();  // warmup + first-touch
+  core::Stopwatch watch;
+  int64_t iters = 0;
+  do {
+    run();
+    ++iters;
+  } while (watch.ElapsedSeconds() < 0.2 && iters < 64);
+  return watch.ElapsedSeconds() * 1e9 / static_cast<double>(iters);
+}
+
+/// Runs one op at 1/2/4 threads, recording time and comparing outputs
+/// bit-for-bit against the 1-thread run.
+template <typename Fn>
+void SweepThreads(const std::string& op, int64_t rows, int64_t cols, Fn run,
+                  std::vector<ScalingResult>* results) {
+  std::vector<float> reference;
+  double ns_1t = 0.0;
+  for (int32_t threads : {1, 2, 4}) {
+    core::SetNumThreads(threads);
+    std::vector<float> output;
+    const double ns = TimeNsPerIter([&] { output = run(); });
+    ScalingResult r;
+    r.op = op;
+    r.rows = rows;
+    r.cols = cols;
+    r.threads = threads;
+    r.ns_per_iter = ns;
+    if (threads == 1) {
+      reference = output;
+      ns_1t = ns;
+    }
+    r.speedup_vs_1t = threads == 1 ? 1.0 : ns_1t / ns;
+    r.bit_identical =
+        output.size() == reference.size() &&
+        std::memcmp(output.data(), reference.data(),
+                    output.size() * sizeof(float)) == 0;
+    results->push_back(r);
+    std::printf("%-16s %6lldx%-5lld threads=%d  %12.0f ns/iter  "
+                "x%.2f  %s\n",
+                op.c_str(), static_cast<long long>(rows),
+                static_cast<long long>(cols), threads, ns, r.speedup_vs_1t,
+                r.bit_identical ? "bit-identical" : "MISMATCH");
+  }
+  core::SetNumThreads(1);
+}
+
+std::vector<float> TensorData(const tensor::Tensor& t) {
+  return std::vector<float>(t.data(), t.data() + t.size());
+}
+
+int RunScalingHarness(const std::string& json_path) {
+  std::vector<ScalingResult> results;
+
+  {
+    const int64_t n = 192;
+    core::Rng rng(1);
+    tensor::Tensor a = tensor::NormalInit(n, n, 1.0f, &rng, false);
+    tensor::Tensor b = tensor::NormalInit(n, n, 1.0f, &rng, false);
+    SweepThreads("MatMul", n, n,
+                 [&] { return TensorData(tensor::MatMul(a, b)); }, &results);
+  }
+  {
+    const int64_t pairs = 1 << 16;
+    const int64_t segments = pairs / 16;
+    core::Rng rng(3);
+    std::vector<int32_t> segment_ids(pairs);
+    for (auto& s : segment_ids) {
+      s = static_cast<int32_t>(rng.UniformInt(segments));
+    }
+    tensor::Tensor scores = tensor::NormalInit(pairs, 1, 1.0f, &rng, false);
+    SweepThreads("SegmentSoftmax", pairs, 1,
+                 [&] {
+                   return TensorData(
+                       tensor::SegmentSoftmax(scores, segment_ids, segments));
+                 },
+                 &results);
+    tensor::Tensor values = tensor::NormalInit(pairs, 64, 1.0f, &rng, false);
+    SweepThreads("SegmentSum", pairs, 64,
+                 [&] {
+                   return TensorData(
+                       tensor::SegmentSum(values, segment_ids, segments));
+                 },
+                 &results);
+  }
+  {
+    const int64_t rows = 1 << 14, d = 64, picks = 1 << 13;
+    core::Rng rng(5);
+    tensor::Tensor x = tensor::NormalInit(rows, d, 1.0f, &rng, false);
+    std::vector<int32_t> indices(picks);
+    for (auto& idx : indices) {
+      idx = static_cast<int32_t>(rng.UniformInt(rows));
+    }
+    SweepThreads("IndexSelectRows", picks, d,
+                 [&] { return TensorData(tensor::IndexSelectRows(x, indices)); },
+                 &results);
+  }
+  {
+    const int64_t n = 1 << 20;
+    core::Rng rng(7);
+    tensor::Tensor x = tensor::NormalInit(n, 1, 1.0f, &rng, false);
+    SweepThreads("Relu", n, 1, [&] { return TensorData(tensor::Relu(x)); },
+                 &results);
+  }
+
+  std::FILE* file = std::fopen(json_path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(file, "{\n  \"bench\": \"micro_ops\",\n  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(file,
+                 "    {\"op\": \"%s\", \"rows\": %lld, \"cols\": %lld, "
+                 "\"threads\": %d, \"ns_per_iter\": %.1f, "
+                 "\"speedup_vs_1t\": %.3f, \"bit_identical\": %s}%s\n",
+                 r.op.c_str(), static_cast<long long>(r.rows),
+                 static_cast<long long>(r.cols), r.threads, r.ns_per_iter,
+                 r.speedup_vs_1t, r.bit_identical ? "true" : "false",
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  for (const auto& r : results) {
+    if (!r.bit_identical) {
+      std::fprintf(stderr, "FAIL: %s at %d threads is not bit-identical\n",
+                   r.op.c_str(), r.threads);
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace hygnn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_micro_ops.json";
+  bool run_gbench = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json_out=", 0) == 0) {
+      json_path = arg.substr(std::string("--json_out=").size());
+    } else if (arg == "--gbench") {
+      run_gbench = true;
+    } else if (arg.rfind("--benchmark_", 0) == 0) {
+      run_gbench = true;  // any google-benchmark flag implies the suite
+    }
+  }
+  const int status = hygnn::RunScalingHarness(json_path);
+  if (status != 0) return status;
+  if (run_gbench) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

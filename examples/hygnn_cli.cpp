@@ -7,6 +7,9 @@
 //   hygnn_cli train   --drugs_csv drugs.csv --pairs_csv pairs.csv
 //       --mode espf --epochs 150 --model model.bin
 //       [--numerics_guard]   # report first op producing NaN/Inf
+//       [--threads N]        # kernel thread pool size (also via the
+//                            # HYGNN_NUM_THREADS env var; results are
+//                            # bit-identical at any thread count)
 //   hygnn_cli evaluate --drugs_csv drugs.csv --pairs_csv pairs.csv
 //       --mode espf --model model.bin
 //   hygnn_cli predict --drugs_csv drugs.csv --mode espf
@@ -130,6 +133,7 @@ int CmdTrain(const core::FlagParser& flags) {
   train_config.verbose = true;
   train_config.log_every = 25;
   train_config.numerics_guard = flags.GetBool("numerics_guard", false);
+  train_config.threads = static_cast<int32_t>(flags.GetInt("threads", 0));
   model::HyGnnTrainer trainer(&hygnn, train_config);
   const float loss = trainer.Fit(corpus.context, pairs_or.value());
   std::printf("final training loss: %.4f\n", loss);

@@ -25,6 +25,19 @@ cmake --build --preset "${PRESET}" -j "${JOBS}"
 echo "== test (${PRESET}) =="
 ctest --preset "${PRESET}" -j "${JOBS}"
 
+# The thread-pool kernels are the only concurrent code in the repo, so
+# their tests always get a ThreadSanitizer pass, whatever preset the
+# main suite ran under. Binaries are run directly (not via ctest) so a
+# targeted build suffices.
+if [[ "${PRESET}" != "tsan" ]]; then
+  echo "== threaded tests (tsan) =="
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "${JOBS}" \
+    --target thread_pool_test kernels_test
+  HYGNN_NUM_THREADS=4 build-tsan/tests/thread_pool_test
+  HYGNN_NUM_THREADS=4 build-tsan/tests/kernels_test
+fi
+
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy (advisory) =="
   # The preset build dir has a compile database when the generator

@@ -7,6 +7,9 @@ Checks, over *tracked* files only (git ls-files):
   3. every .cc under src/ is listed in its directory's CMakeLists.txt
   4. no raw assert( in src/ — use HYGNN_CHECK / HYGNN_DCHECK
   5. no committed build artifacts (build trees, objects, caches)
+  6. src/tensor/ops.cc contains no raw compute loops — numeric work
+     belongs in src/tensor/kernels/ (the autograd layer only does shape
+     checks and graph wiring)
 
 Exits 0 when clean, 1 with one line per violation otherwise.
 """
@@ -30,6 +33,11 @@ BUILD_ARTIFACT_PATTERNS = [
 RAW_ASSERT = re.compile(r"(?<![\w_])assert\s*\(")
 USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
 LINE_COMMENT = re.compile(r"//.*$")
+RAW_LOOP = re.compile(r"(?<![\w_])(for|while)\s*\(")
+
+# Files that must stay loop-free: the autograd layer delegates all
+# numeric iteration to the kernel layer (src/tensor/kernels/).
+NO_LOOP_FILES = {"src/tensor/ops.cc"}
 
 
 def tracked_files():
@@ -86,6 +94,33 @@ def check_raw_assert(path, text, problems):
                 "or HYGNN_DCHECK (debug only)")
 
 
+def check_no_raw_loops(path, text, problems):
+    """The autograd layer (ops.cc) must contain zero numeric loops —
+    every for/while is compute that belongs in tensor/kernels/."""
+    in_block_comment = False
+    for i, line in enumerate(text.splitlines(), 1):
+        code = line
+        if in_block_comment:
+            end = code.find("*/")
+            if end < 0:
+                continue
+            code = code[end + 2:]
+            in_block_comment = False
+        while "/*" in code:
+            start = code.find("/*")
+            end = code.find("*/", start + 2)
+            if end < 0:
+                code = code[:start]
+                in_block_comment = True
+                break
+            code = code[:start] + code[end + 2:]
+        code = LINE_COMMENT.sub("", code)
+        if RAW_LOOP.search(code):
+            problems.append(
+                f"{path}:{i}: raw loop in the autograd layer — move the "
+                "compute into src/tensor/kernels/ and call the kernel")
+
+
 def check_cmake_listing(files, problems):
     cmake_cache = {}
     for path in files:
@@ -131,6 +166,8 @@ def main():
             check_using_namespace(path, text, problems)
         if p.parts[0] == "src":
             check_raw_assert(path, text, problems)
+        if path in NO_LOOP_FILES:
+            check_no_raw_loops(path, text, problems)
 
     if problems:
         for problem in problems:

@@ -66,4 +66,12 @@ bool EnvFlag(const std::string& name, bool fallback) {
   return fallback;
 }
 
+int64_t EnvInt(const std::string& name, int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const int64_t value = std::strtoll(raw, &end, 10);
+  return (end == raw || *end != '\0') ? fallback : value;
+}
+
 }  // namespace hygnn::core

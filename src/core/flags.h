@@ -44,6 +44,11 @@ class FlagParser {
 /// every entry point.
 bool EnvFlag(const std::string& name, bool fallback);
 
+/// Reads an integer from the process environment. Unset, empty, or
+/// unparsable values yield `fallback`. Companion to EnvFlag for knobs
+/// that carry a count rather than a switch (e.g. HYGNN_NUM_THREADS).
+int64_t EnvInt(const std::string& name, int64_t fallback);
+
 }  // namespace hygnn::core
 
 #endif  // HYGNN_CORE_FLAGS_H_

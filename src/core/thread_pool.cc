@@ -1,0 +1,171 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+
+#include "core/flags.h"
+#include "core/logging.h"
+
+namespace hygnn::core {
+
+namespace {
+
+/// True while the current thread is executing ParallelFor chunks;
+/// nested ParallelFor calls from kernel code run inline instead of
+/// deadlocking on the single shared job slot.
+thread_local bool t_inside_parallel_for = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int32_t num_threads)
+    : num_threads_(std::max<int32_t>(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int32_t i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  job_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_ready_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    t_inside_parallel_for = true;
+    RunChunks(job.get());
+    t_inside_parallel_for = false;
+  }
+}
+
+void ThreadPool::RunChunks(Job* job) {
+  for (;;) {
+    const int64_t chunk = job->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job->num_chunks) break;
+    // After a failure the job is abandoned: remaining chunks are
+    // counted as done without running so the caller unblocks fast.
+    if (!job->failed.load(std::memory_order_acquire)) {
+      try {
+        const int64_t lo = job->begin + chunk * job->grain;
+        const int64_t hi = std::min(job->end, lo + job->grain);
+        (*job->fn)(lo, hi);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(job->error_mutex);
+          if (!job->error) job->error = std::current_exception();
+        }
+        job->failed.store(true, std::memory_order_release);
+      }
+    }
+    const int64_t done =
+        job->done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (done == job->num_chunks) {
+      // Lock pairs with the caller's predicate check to avoid a missed
+      // wakeup between its done_chunks load and its wait.
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  HYGNN_CHECK_GT(grain, 0);
+  if (end <= begin) return;
+  const int64_t range = end - begin;
+  if (num_threads_ == 1 || range <= grain || t_inside_parallel_for) {
+    fn(begin, end);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->num_chunks = (range + grain - 1) / grain;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++generation_;
+  }
+  job_ready_.notify_all();
+
+  t_inside_parallel_for = true;
+  RunChunks(job.get());
+  t_inside_parallel_for = false;
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_done_.wait(lock, [&] {
+      return job->done_chunks.load(std::memory_order_acquire) ==
+             job->num_chunks;
+    });
+    job_ = nullptr;
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+ThreadPool* g_pool = nullptr;  // null while the count is 1
+int32_t g_num_threads = 0;     // 0 = not yet resolved
+
+int32_t ResolveDefaultThreads() {
+  const int64_t from_env = EnvInt("HYGNN_NUM_THREADS", 0);
+  return from_env > 0 ? static_cast<int32_t>(from_env) : 1;
+}
+
+}  // namespace
+
+int32_t NumThreads() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_num_threads == 0) g_num_threads = ResolveDefaultThreads();
+  return g_num_threads;
+}
+
+void SetNumThreads(int32_t n) {
+  n = std::max<int32_t>(1, n);
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (n == g_num_threads) return;
+  delete g_pool;
+  g_pool = n > 1 ? new ThreadPool(n) : nullptr;
+  g_num_threads = n;
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  HYGNN_CHECK_GT(grain, 0);
+  if (end <= begin) return;
+  ThreadPool* pool;
+  {
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (g_num_threads == 0) {
+      g_num_threads = ResolveDefaultThreads();
+      if (g_num_threads > 1) g_pool = new ThreadPool(g_num_threads);
+    }
+    pool = g_pool;
+  }
+  if (pool == nullptr) {
+    fn(begin, end);
+    return;
+  }
+  pool->ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace hygnn::core

@@ -1,0 +1,98 @@
+#ifndef HYGNN_CORE_THREAD_POOL_H_
+#define HYGNN_CORE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hygnn::core {
+
+/// Persistent worker pool behind ParallelFor. One pool is shared
+/// process-wide (see NumThreads / SetNumThreads); kernels never spawn
+/// threads themselves.
+///
+/// Determinism contract: ParallelFor splits [begin, end) into
+/// fixed-size chunks of `grain` iterations. Chunk boundaries depend
+/// only on (begin, end, grain) — never on the thread count or on which
+/// worker picks up which chunk — so any kernel whose chunks write
+/// disjoint outputs and preserve per-element accumulation order
+/// produces bit-identical results at every thread count, including the
+/// inline sequential path used when the pool has one thread.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers; the calling thread participates
+  /// in every ParallelFor, so `num_threads == 1` spawns nothing.
+  explicit ThreadPool(int32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int32_t num_threads() const { return num_threads_; }
+
+  /// Runs fn(chunk_begin, chunk_end) over every grain-sized chunk of
+  /// [begin, end), distributing chunks across the pool. Blocks until
+  /// all chunks finished. If any invocation of `fn` throws, the first
+  /// exception (in completion order) is rethrown here after all
+  /// remaining chunks have been skipped; the pool stays usable.
+  ///
+  /// Not reentrant: a nested call from inside `fn` runs the nested
+  /// range inline on the calling worker (no deadlock, still exact).
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+ private:
+  struct Job {
+    int64_t begin = 0;
+    int64_t end = 0;
+    int64_t grain = 1;
+    int64_t num_chunks = 0;
+    std::atomic<int64_t> next_chunk{0};
+    std::atomic<int64_t> done_chunks{0};
+    std::atomic<bool> failed{false};
+    const std::function<void(int64_t, int64_t)>* fn = nullptr;
+    std::mutex error_mutex;
+    std::exception_ptr error;
+  };
+
+  void WorkerLoop();
+  void RunChunks(Job* job);
+
+  const int32_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable job_ready_;
+  std::condition_variable job_done_;
+  std::shared_ptr<Job> job_;     // current job; null when idle
+  uint64_t generation_ = 0;      // bumped per job so workers run each once
+  bool shutdown_ = false;
+};
+
+/// Number of threads the global pool runs with. Resolved lazily on
+/// first use: HYGNN_NUM_THREADS from the environment when set and
+/// positive, otherwise 1 (exact sequential execution).
+int32_t NumThreads();
+
+/// Replaces the global pool with an `n`-thread one (values < 1 clamp
+/// to 1; 1 destroys the pool and makes ParallelFor run inline). Joins
+/// the previous pool's workers first. Not safe to call concurrently
+/// with an in-flight ParallelFor.
+void SetNumThreads(int32_t n);
+
+/// Runs `fn` over grain-sized chunks of [begin, end) on the global
+/// pool (see ThreadPool::ParallelFor for the determinism and exception
+/// contract). With one thread — or when the whole range fits in a
+/// single grain — this is exactly `fn(begin, end)` on the caller.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace hygnn::core
+
+#endif  // HYGNN_CORE_THREAD_POOL_H_

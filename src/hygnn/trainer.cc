@@ -6,6 +6,7 @@
 #include "core/flags.h"
 #include "core/logging.h"
 #include "core/rng.h"
+#include "core/thread_pool.h"
 #include "tensor/debug.h"
 #include "tensor/loss.h"
 #include "tensor/optimizer.h"
@@ -36,6 +37,10 @@ HyGnnTrainer::HyGnnTrainer(HyGnnModel* model, const TrainConfig& config)
 float HyGnnTrainer::Fit(const HypergraphContext& context,
                         const std::vector<data::LabeledPair>& train_pairs) {
   HYGNN_CHECK(!train_pairs.empty());
+  epoch_losses_.clear();
+  // Kernel thread count: an explicit config wins; 0 leaves the global
+  // pool as-is (HYGNN_NUM_THREADS or a prior SetNumThreads call).
+  if (config_.threads > 0) core::SetNumThreads(config_.threads);
   core::Rng rng(config_.seed);
   tensor::Adam optimizer(model_->Parameters(), config_.learning_rate, 0.9f,
                          0.999f, 1e-8f, config_.weight_decay);
@@ -106,6 +111,7 @@ float HyGnnTrainer::Fit(const HypergraphContext& context,
       optimizer.Step();
       last_loss = loss.item();
     }
+    epoch_losses_.push_back(last_loss);
 
     if (guard_numerics && tensor::NumericsGuard::triggered()) {
       HYGNN_LOG(Error) << "numerics guard tripped at epoch " << epoch

@@ -38,6 +38,11 @@ struct TrainConfig {
   /// before the bad step corrupts the weights. Also enabled by the
   /// HYGNN_NUMERICS_GUARD=1 environment variable (see core::EnvFlag).
   bool numerics_guard = false;
+  /// CPU threads for the tensor kernels (core::SetNumThreads). 0 keeps
+  /// the current global setting (itself defaulting to HYGNN_NUM_THREADS
+  /// or 1). Kernels are bit-deterministic, so the trained weights are
+  /// identical at any thread count.
+  int32_t threads = 0;
 };
 
 /// F1 / ROC-AUC / PR-AUC triple — the paper's reporting columns.
@@ -70,9 +75,15 @@ class HyGnnTrainer {
   EvalResult Evaluate(const HypergraphContext& context,
                       const std::vector<data::LabeledPair>& pairs) const;
 
+  /// Training loss of every epoch of the last Fit() call, in order.
+  /// Deterministic given the seed (and independent of the thread
+  /// count), which the determinism tests rely on.
+  const std::vector<float>& epoch_losses() const { return epoch_losses_; }
+
  private:
   HyGnnModel* model_;
   TrainConfig config_;
+  std::vector<float> epoch_losses_;
 };
 
 }  // namespace hygnn::model

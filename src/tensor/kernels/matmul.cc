@@ -1,0 +1,68 @@
+#include <algorithm>
+
+#include "tensor/kernels/kernels.h"
+
+namespace hygnn::tensor::kernels {
+
+void MatMul(const float* a, const float* b, float* c, int64_t n, int64_t k,
+            int64_t m) {
+  // ikj loop order for cache-friendly row-major access; each output row
+  // belongs to exactly one chunk.
+  core::ParallelFor(0, n, kRowGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      float* crow = c + i * m;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aik = a[i * k + kk];
+        if (aik == 0.0f) continue;
+        const float* brow = b + kk * m;
+        for (int64_t j = 0; j < m; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  });
+}
+
+void MatMulNT(const float* a, const float* b, float* c, int64_t n, int64_t k,
+              int64_t m) {
+  // c[i,j] += a_i · b_j; both operands are read row-wise, so the
+  // transposed product needs no transposed copy.
+  core::ParallelFor(0, n, kRowGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * m;
+      for (int64_t j = 0; j < m; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0f;
+        for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] += acc;
+      }
+    }
+  });
+}
+
+void MatMulTN(const float* a, const float* b, float* c, int64_t n, int64_t k,
+              int64_t m) {
+  // Output row kk gathers column kk of a; i ascends inside each chunk
+  // so every c element accumulates in the sequential order.
+  core::ParallelFor(0, k, kRowGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t kk = lo; kk < hi; ++kk) {
+      float* crow = c + kk * m;
+      for (int64_t i = 0; i < n; ++i) {
+        const float aik = a[i * k + kk];
+        if (aik == 0.0f) continue;
+        const float* brow = b + i * m;
+        for (int64_t j = 0; j < m; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  });
+}
+
+void Transpose(const float* x, int64_t n, int64_t d, float* out) {
+  core::ParallelFor(0, d, kRowGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t j = lo; j < hi; ++j) {
+      float* orow = out + j * n;
+      for (int64_t i = 0; i < n; ++i) orow[i] = x[i * d + j];
+    }
+  });
+}
+
+}  // namespace hygnn::tensor::kernels

@@ -1,10 +1,17 @@
+// Autograd layer: shape checks, graph wiring, and forward/backward
+// dispatch. All numeric loops live in the kernel layer
+// (tensor/kernels/) — scripts/lint.py enforces that this file contains
+// no raw compute loops, which keeps the backend seam (threading, SIMD,
+// alternative kernels) below this file.
+
 #include "tensor/ops.h"
 
+#include <algorithm>
 #include <cmath>
-#include <limits>
 
 #include "core/logging.h"
 #include "tensor/debug.h"
+#include "tensor/kernels/kernels.h"
 
 namespace hygnn::tensor {
 
@@ -21,10 +28,9 @@ std::shared_ptr<TensorImpl> MakeOutput(
   out->rows = rows;
   out->cols = cols;
   out->data.assign(static_cast<size_t>(rows * cols), 0.0f);
-  out->requires_grad = false;
-  for (const auto& p : parents) {
-    if (p->requires_grad) out->requires_grad = true;
-  }
+  out->requires_grad = std::any_of(
+      parents.begin(), parents.end(),
+      [](const std::shared_ptr<TensorImpl>& p) { return p->requires_grad; });
   if (out->requires_grad) out->parents = std::move(parents);
   return out;
 }
@@ -48,53 +54,22 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t n = a.rows(), k = a.cols(), m = b.cols();
   auto ai = a.impl(), bi = b.impl();
   auto out = MakeOutput("MatMul", n, m, {ai, bi});
-  // ikj loop order for cache-friendly row-major access.
-  const float* A = ai->data.data();
-  const float* B = bi->data.data();
-  float* C = out->data.data();
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aik = A[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = B + kk * m;
-      float* crow = C + i * m;
-      for (int64_t j = 0; j < m; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  kernels::MatMul(ai->data.data(), bi->data.data(), out->data.data(), n, k, m);
   if (out->requires_grad) {
     TensorImpl* oi = out.get();
     out->backward_fn = [ai, bi, oi, n, k, m]() {
       if (oi->grad.empty()) return;
-      const float* G = oi->grad.data();
+      const float* g = oi->grad.data();
       if (NeedsGrad(ai)) {
         ai->EnsureGrad();
-        // dA = G * B^T : dA[i,kk] += sum_j G[i,j] * B[kk,j]
-        const float* B = bi->data.data();
-        float* dA = ai->grad.data();
-        for (int64_t i = 0; i < n; ++i) {
-          for (int64_t kk = 0; kk < k; ++kk) {
-            const float* grow = G + i * m;
-            const float* brow = B + kk * m;
-            float acc = 0.0f;
-            for (int64_t j = 0; j < m; ++j) acc += grow[j] * brow[j];
-            dA[i * k + kk] += acc;
-          }
-        }
+        // dA = G · Bᵀ via the transposed-operand kernel — no
+        // materialized transpose.
+        kernels::MatMulNT(g, bi->data.data(), ai->grad.data(), n, m, k);
       }
       if (NeedsGrad(bi)) {
         bi->EnsureGrad();
-        // dB = A^T * G : dB[kk,j] += sum_i A[i,kk] * G[i,j]
-        const float* A = ai->data.data();
-        float* dB = bi->grad.data();
-        for (int64_t i = 0; i < n; ++i) {
-          for (int64_t kk = 0; kk < k; ++kk) {
-            const float aik = A[i * k + kk];
-            if (aik == 0.0f) continue;
-            const float* grow = G + i * m;
-            float* drow = dB + kk * m;
-            for (int64_t j = 0; j < m; ++j) drow[j] += aik * grow[j];
-          }
-        }
+        // dB = Aᵀ · G, likewise transpose-free.
+        kernels::MatMulTN(ai->data.data(), g, bi->grad.data(), n, k, m);
       }
     };
   }
@@ -107,20 +82,18 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   auto ai = a.impl(), bi = b.impl();
   auto out = MakeOutput("Add", a.rows(), a.cols(), {ai, bi});
   const int64_t total = out->size();
-  for (int64_t i = 0; i < total; ++i) {
-    out->data[i] = ai->data[i] + bi->data[i];
-  }
+  kernels::Add(ai->data.data(), bi->data.data(), out->data.data(), total);
   if (out->requires_grad) {
     TensorImpl* oi = out.get();
     out->backward_fn = [ai, bi, oi, total]() {
       if (oi->grad.empty()) return;
       if (NeedsGrad(ai)) {
         ai->EnsureGrad();
-        for (int64_t i = 0; i < total; ++i) ai->grad[i] += oi->grad[i];
+        kernels::Axpy(1.0f, oi->grad.data(), ai->grad.data(), total);
       }
       if (NeedsGrad(bi)) {
         bi->EnsureGrad();
-        for (int64_t i = 0; i < total; ++i) bi->grad[i] += oi->grad[i];
+        kernels::Axpy(1.0f, oi->grad.data(), bi->grad.data(), total);
       }
     };
   }
@@ -134,25 +107,19 @@ Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias) {
   auto xi = x.impl(), bi = bias.impl();
   const int64_t n = x.rows(), d = x.cols();
   auto out = MakeOutput("AddRowBroadcast", n, d, {xi, bi});
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = 0; j < d; ++j) {
-      out->data[i * d + j] = xi->data[i * d + j] + bi->data[j];
-    }
-  }
+  kernels::AddRowBroadcast(xi->data.data(), bi->data.data(), out->data.data(),
+                           n, d);
   if (out->requires_grad) {
     TensorImpl* oi = out.get();
     out->backward_fn = [xi, bi, oi, n, d]() {
       if (oi->grad.empty()) return;
       if (NeedsGrad(xi)) {
         xi->EnsureGrad();
-        const int64_t total = n * d;
-        for (int64_t i = 0; i < total; ++i) xi->grad[i] += oi->grad[i];
+        kernels::Axpy(1.0f, oi->grad.data(), xi->grad.data(), n * d);
       }
       if (NeedsGrad(bi)) {
         bi->EnsureGrad();
-        for (int64_t i = 0; i < n; ++i) {
-          for (int64_t j = 0; j < d; ++j) bi->grad[j] += oi->grad[i * d + j];
-        }
+        kernels::ColumnSumAccumulate(oi->grad.data(), n, d, bi->grad.data());
       }
     };
   }
@@ -165,20 +132,18 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   auto ai = a.impl(), bi = b.impl();
   auto out = MakeOutput("Sub", a.rows(), a.cols(), {ai, bi});
   const int64_t total = out->size();
-  for (int64_t i = 0; i < total; ++i) {
-    out->data[i] = ai->data[i] - bi->data[i];
-  }
+  kernels::Sub(ai->data.data(), bi->data.data(), out->data.data(), total);
   if (out->requires_grad) {
     TensorImpl* oi = out.get();
     out->backward_fn = [ai, bi, oi, total]() {
       if (oi->grad.empty()) return;
       if (NeedsGrad(ai)) {
         ai->EnsureGrad();
-        for (int64_t i = 0; i < total; ++i) ai->grad[i] += oi->grad[i];
+        kernels::Axpy(1.0f, oi->grad.data(), ai->grad.data(), total);
       }
       if (NeedsGrad(bi)) {
         bi->EnsureGrad();
-        for (int64_t i = 0; i < total; ++i) bi->grad[i] -= oi->grad[i];
+        kernels::Axpy(-1.0f, oi->grad.data(), bi->grad.data(), total);
       }
     };
   }
@@ -191,24 +156,21 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   auto ai = a.impl(), bi = b.impl();
   auto out = MakeOutput("Mul", a.rows(), a.cols(), {ai, bi});
   const int64_t total = out->size();
-  for (int64_t i = 0; i < total; ++i) {
-    out->data[i] = ai->data[i] * bi->data[i];
-  }
+  kernels::MulAccumulate(ai->data.data(), bi->data.data(), out->data.data(),
+                         total);
   if (out->requires_grad) {
     TensorImpl* oi = out.get();
     out->backward_fn = [ai, bi, oi, total]() {
       if (oi->grad.empty()) return;
       if (NeedsGrad(ai)) {
         ai->EnsureGrad();
-        for (int64_t i = 0; i < total; ++i) {
-          ai->grad[i] += oi->grad[i] * bi->data[i];
-        }
+        kernels::MulAccumulate(oi->grad.data(), bi->data.data(),
+                               ai->grad.data(), total);
       }
       if (NeedsGrad(bi)) {
         bi->EnsureGrad();
-        for (int64_t i = 0; i < total; ++i) {
-          bi->grad[i] += oi->grad[i] * ai->data[i];
-        }
+        kernels::MulAccumulate(oi->grad.data(), ai->data.data(),
+                               bi->grad.data(), total);
       }
     };
   }
@@ -221,13 +183,13 @@ Tensor Scale(const Tensor& x, float s) {
   auto xi = x.impl();
   auto out = MakeOutput("Scale", x.rows(), x.cols(), {xi});
   const int64_t total = out->size();
-  for (int64_t i = 0; i < total; ++i) out->data[i] = xi->data[i] * s;
+  kernels::Axpy(s, xi->data.data(), out->data.data(), total);
   if (out->requires_grad) {
     TensorImpl* oi = out.get();
     out->backward_fn = [xi, oi, s, total]() {
       if (oi->grad.empty()) return;
       xi->EnsureGrad();
-      for (int64_t i = 0; i < total; ++i) xi->grad[i] += oi->grad[i] * s;
+      kernels::Axpy(s, oi->grad.data(), xi->grad.data(), total);
     };
   }
   return FinishOp(std::move(out));
@@ -240,34 +202,21 @@ Tensor MulColumnBroadcast(const Tensor& x, const Tensor& w) {
   auto xi = x.impl(), wi = w.impl();
   const int64_t n = x.rows(), d = x.cols();
   auto out = MakeOutput("MulColumnBroadcast", n, d, {xi, wi});
-  for (int64_t i = 0; i < n; ++i) {
-    const float wv = wi->data[i];
-    for (int64_t j = 0; j < d; ++j) {
-      out->data[i * d + j] = xi->data[i * d + j] * wv;
-    }
-  }
+  kernels::RowScaleAccumulate(wi->data.data(), xi->data.data(),
+                              out->data.data(), n, d);
   if (out->requires_grad) {
     TensorImpl* oi = out.get();
     out->backward_fn = [xi, wi, oi, n, d]() {
       if (oi->grad.empty()) return;
       if (NeedsGrad(xi)) {
         xi->EnsureGrad();
-        for (int64_t i = 0; i < n; ++i) {
-          const float wv = wi->data[i];
-          for (int64_t j = 0; j < d; ++j) {
-            xi->grad[i * d + j] += oi->grad[i * d + j] * wv;
-          }
-        }
+        kernels::RowScaleAccumulate(wi->data.data(), oi->grad.data(),
+                                    xi->grad.data(), n, d);
       }
       if (NeedsGrad(wi)) {
         wi->EnsureGrad();
-        for (int64_t i = 0; i < n; ++i) {
-          float acc = 0.0f;
-          for (int64_t j = 0; j < d; ++j) {
-            acc += oi->grad[i * d + j] * xi->data[i * d + j];
-          }
-          wi->grad[i] += acc;
-        }
+        kernels::RowwiseDotAccumulate(oi->grad.data(), xi->data.data(),
+                                      wi->grad.data(), n, d);
       }
     };
   }
@@ -280,33 +229,23 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   auto ai = a.impl(), bi = b.impl();
   const int64_t n = a.rows(), d1 = a.cols(), d2 = b.cols();
   auto out = MakeOutput("ConcatCols", n, d1 + d2, {ai, bi});
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = 0; j < d1; ++j) {
-      out->data[i * (d1 + d2) + j] = ai->data[i * d1 + j];
-    }
-    for (int64_t j = 0; j < d2; ++j) {
-      out->data[i * (d1 + d2) + d1 + j] = bi->data[i * d2 + j];
-    }
-  }
+  kernels::CopyColumnBlock(ai->data.data(), n, d1, 0, out->data.data(),
+                           d1 + d2, 0, d1);
+  kernels::CopyColumnBlock(bi->data.data(), n, d2, 0, out->data.data(),
+                           d1 + d2, d1, d2);
   if (out->requires_grad) {
     TensorImpl* oi = out.get();
     out->backward_fn = [ai, bi, oi, n, d1, d2]() {
       if (oi->grad.empty()) return;
       if (NeedsGrad(ai)) {
         ai->EnsureGrad();
-        for (int64_t i = 0; i < n; ++i) {
-          for (int64_t j = 0; j < d1; ++j) {
-            ai->grad[i * d1 + j] += oi->grad[i * (d1 + d2) + j];
-          }
-        }
+        kernels::AccumulateColumnBlock(oi->grad.data(), n, d1 + d2, 0,
+                                       ai->grad.data(), d1, 0, d1);
       }
       if (NeedsGrad(bi)) {
         bi->EnsureGrad();
-        for (int64_t i = 0; i < n; ++i) {
-          for (int64_t j = 0; j < d2; ++j) {
-            bi->grad[i * d2 + j] += oi->grad[i * (d1 + d2) + d1 + j];
-          }
-        }
+        kernels::AccumulateColumnBlock(oi->grad.data(), n, d1 + d2, d1,
+                                       bi->grad.data(), d2, 0, d2);
       }
     };
   }
@@ -319,26 +258,20 @@ Tensor IndexSelectRows(const Tensor& x, const std::vector<int32_t>& indices) {
   const int64_t n = static_cast<int64_t>(indices.size());
   const int64_t d = x.cols();
   HYGNN_CHECK_GT(n, 0);
-  for (int32_t idx : indices) {
-    HYGNN_CHECK(idx >= 0 && idx < x.rows());
-  }
+  HYGNN_CHECK(kernels::AllInRange(indices.data(), n, 0,
+                                  static_cast<int32_t>(x.rows())))
+      << "IndexSelectRows index out of range [0, " << x.rows() << ")";
   auto out = MakeOutput("IndexSelectRows", n, d, {xi});
-  for (int64_t i = 0; i < n; ++i) {
-    const float* src = xi->data.data() + static_cast<int64_t>(indices[i]) * d;
-    float* dst = out->data.data() + i * d;
-    for (int64_t j = 0; j < d; ++j) dst[j] = src[j];
-  }
+  kernels::GatherRows(xi->data.data(), d, indices.data(), n,
+                      out->data.data());
   if (out->requires_grad) {
     TensorImpl* oi = out.get();
     auto idx_copy = indices;
     out->backward_fn = [xi, oi, idx_copy, n, d]() {
       if (oi->grad.empty()) return;
       xi->EnsureGrad();
-      for (int64_t i = 0; i < n; ++i) {
-        float* dst = xi->grad.data() + static_cast<int64_t>(idx_copy[i]) * d;
-        const float* src = oi->grad.data() + i * d;
-        for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
-      }
+      kernels::ScatterAddRows(oi->grad.data(), idx_copy.data(), n, d,
+                              xi->grad.data());
     };
   }
   return FinishOp(std::move(out));
@@ -351,41 +284,22 @@ Tensor SegmentSoftmax(const Tensor& scores,
   HYGNN_CHECK_EQ(scores.cols(), 1);
   HYGNN_CHECK_EQ(scores.rows(), static_cast<int64_t>(segment_ids.size()));
   const int64_t n = scores.rows();
+  HYGNN_CHECK(kernels::AllInRange(segment_ids.data(), n, 0,
+                                  static_cast<int32_t>(num_segments)))
+      << "SegmentSoftmax segment id out of range [0, " << num_segments << ")";
   auto si = scores.impl();
   auto out = MakeOutput("SegmentSoftmax", n, 1, {si});
-
-  std::vector<float> seg_max(static_cast<size_t>(num_segments),
-                             -std::numeric_limits<float>::infinity());
-  for (int64_t i = 0; i < n; ++i) {
-    const int32_t s = segment_ids[i];
-    HYGNN_CHECK(s >= 0 && s < num_segments);
-    seg_max[s] = std::max(seg_max[s], si->data[i]);
-  }
-  std::vector<float> seg_sum(static_cast<size_t>(num_segments), 0.0f);
-  for (int64_t i = 0; i < n; ++i) {
-    const int32_t s = segment_ids[i];
-    out->data[i] = std::exp(si->data[i] - seg_max[s]);
-    seg_sum[s] += out->data[i];
-  }
-  for (int64_t i = 0; i < n; ++i) {
-    const float denom = seg_sum[segment_ids[i]];
-    out->data[i] = denom > 0.0f ? out->data[i] / denom : 0.0f;
-  }
-
+  kernels::SegmentSoftmax(si->data.data(), segment_ids.data(), n,
+                          num_segments, out->data.data());
   if (out->requires_grad) {
     TensorImpl* oi = out.get();
     auto seg_copy = segment_ids;
     out->backward_fn = [si, oi, seg_copy, n, num_segments]() {
       if (oi->grad.empty()) return;
       si->EnsureGrad();
-      // d s_i = y_i * (g_i - sum_{j in seg} g_j y_j)
-      std::vector<float> seg_dot(static_cast<size_t>(num_segments), 0.0f);
-      for (int64_t i = 0; i < n; ++i) {
-        seg_dot[seg_copy[i]] += oi->grad[i] * oi->data[i];
-      }
-      for (int64_t i = 0; i < n; ++i) {
-        si->grad[i] += oi->data[i] * (oi->grad[i] - seg_dot[seg_copy[i]]);
-      }
+      kernels::SegmentSoftmaxBackward(oi->grad.data(), oi->data.data(),
+                                      seg_copy.data(), n, num_segments,
+                                      si->grad.data());
     };
   }
   return FinishOp(std::move(out));
@@ -396,27 +310,21 @@ Tensor SegmentSum(const Tensor& x, const std::vector<int32_t>& segment_ids,
   HYGNN_CHECK(x.defined());
   HYGNN_CHECK_EQ(x.rows(), static_cast<int64_t>(segment_ids.size()));
   const int64_t n = x.rows(), d = x.cols();
+  HYGNN_CHECK(kernels::AllInRange(segment_ids.data(), n, 0,
+                                  static_cast<int32_t>(num_segments)))
+      << "SegmentSum segment id out of range [0, " << num_segments << ")";
   auto xi = x.impl();
   auto out = MakeOutput("SegmentSum", num_segments, d, {xi});
-  for (int64_t i = 0; i < n; ++i) {
-    const int32_t s = segment_ids[i];
-    HYGNN_CHECK(s >= 0 && s < num_segments);
-    const float* src = xi->data.data() + i * d;
-    float* dst = out->data.data() + static_cast<int64_t>(s) * d;
-    for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
-  }
+  kernels::SegmentSumAccumulate(xi->data.data(), segment_ids.data(), n, d,
+                                out->data.data(), num_segments);
   if (out->requires_grad) {
     TensorImpl* oi = out.get();
     auto seg_copy = segment_ids;
     out->backward_fn = [xi, oi, seg_copy, n, d]() {
       if (oi->grad.empty()) return;
       xi->EnsureGrad();
-      for (int64_t i = 0; i < n; ++i) {
-        const float* src =
-            oi->grad.data() + static_cast<int64_t>(seg_copy[i]) * d;
-        float* dst = xi->grad.data() + i * d;
-        for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
-      }
+      kernels::SegmentSumBackward(oi->grad.data(), seg_copy.data(), n, d,
+                                  xi->grad.data());
     };
   }
   return FinishOp(std::move(out));
@@ -428,34 +336,21 @@ Tensor RowwiseDot(const Tensor& a, const Tensor& b) {
   const int64_t n = a.rows(), d = a.cols();
   auto ai = a.impl(), bi = b.impl();
   auto out = MakeOutput("RowwiseDot", n, 1, {ai, bi});
-  for (int64_t i = 0; i < n; ++i) {
-    float acc = 0.0f;
-    for (int64_t j = 0; j < d; ++j) {
-      acc += ai->data[i * d + j] * bi->data[i * d + j];
-    }
-    out->data[i] = acc;
-  }
+  kernels::RowwiseDotAccumulate(ai->data.data(), bi->data.data(),
+                                out->data.data(), n, d);
   if (out->requires_grad) {
     TensorImpl* oi = out.get();
     out->backward_fn = [ai, bi, oi, n, d]() {
       if (oi->grad.empty()) return;
       if (NeedsGrad(ai)) {
         ai->EnsureGrad();
-        for (int64_t i = 0; i < n; ++i) {
-          const float g = oi->grad[i];
-          for (int64_t j = 0; j < d; ++j) {
-            ai->grad[i * d + j] += g * bi->data[i * d + j];
-          }
-        }
+        kernels::RowScaleAccumulate(oi->grad.data(), bi->data.data(),
+                                    ai->grad.data(), n, d);
       }
       if (NeedsGrad(bi)) {
         bi->EnsureGrad();
-        for (int64_t i = 0; i < n; ++i) {
-          const float g = oi->grad[i];
-          for (int64_t j = 0; j < d; ++j) {
-            bi->grad[i * d + j] += g * ai->data[i * d + j];
-          }
-        }
+        kernels::RowScaleAccumulate(oi->grad.data(), ai->data.data(),
+                                    bi->grad.data(), n, d);
       }
     };
   }
@@ -467,16 +362,13 @@ Tensor ReduceSum(const Tensor& x) {
   auto xi = x.impl();
   auto out = MakeOutput("ReduceSum", 1, 1, {xi});
   const int64_t total = xi->size();
-  float acc = 0.0f;
-  for (int64_t i = 0; i < total; ++i) acc += xi->data[i];
-  out->data[0] = acc;
+  out->data[0] = kernels::Sum(xi->data.data(), total);
   if (out->requires_grad) {
     TensorImpl* oi = out.get();
     out->backward_fn = [xi, oi, total]() {
       if (oi->grad.empty()) return;
       xi->EnsureGrad();
-      const float g = oi->grad[0];
-      for (int64_t i = 0; i < total; ++i) xi->grad[i] += g;
+      kernels::AccumulateConstant(oi->grad[0], xi->grad.data(), total);
     };
   }
   return FinishOp(std::move(out));
@@ -489,23 +381,24 @@ Tensor ReduceMean(const Tensor& x) {
 
 namespace {
 
-/// Shared implementation for elementwise unary ops. `fwd` maps x->y,
-/// `dydx` maps (x, y)->dy/dx.
+/// Shared wiring for elementwise unary ops. `fwd` maps x->y, `dydx`
+/// maps (x, y)->dy/dx; both run inside the parallel RowwiseMap
+/// kernels.
 template <typename Fwd, typename Dydx>
 Tensor UnaryOp(const char* op, const Tensor& x, Fwd fwd, Dydx dydx) {
   HYGNN_CHECK(x.defined());
   auto xi = x.impl();
   auto out = MakeOutput(op, x.rows(), x.cols(), {xi});
   const int64_t total = out->size();
-  for (int64_t i = 0; i < total; ++i) out->data[i] = fwd(xi->data[i]);
+  kernels::RowwiseMap(xi->data.data(), out->data.data(), total, fwd);
   if (out->requires_grad) {
     TensorImpl* oi = out.get();
     out->backward_fn = [xi, oi, dydx, total]() {
       if (oi->grad.empty()) return;
       xi->EnsureGrad();
-      for (int64_t i = 0; i < total; ++i) {
-        xi->grad[i] += oi->grad[i] * dydx(xi->data[i], oi->data[i]);
-      }
+      kernels::RowwiseMapGradAccumulate(xi->data.data(), oi->data.data(),
+                                        oi->grad.data(), xi->grad.data(),
+                                        total, dydx);
     };
   }
   return FinishOp(std::move(out));
@@ -567,18 +460,16 @@ Tensor Dropout(const Tensor& x, float p, bool training, core::Rng* rng) {
   const int64_t total = out->size();
   const float keep_scale = 1.0f / (1.0f - p);
   auto mask = std::make_shared<std::vector<float>>(total, 0.0f);
-  for (int64_t i = 0; i < total; ++i) {
-    if (!rng->Bernoulli(p)) (*mask)[i] = keep_scale;
-    out->data[i] = xi->data[i] * (*mask)[i];
-  }
+  kernels::DropoutMask(rng, p, keep_scale, mask->data(), total);
+  kernels::MulAccumulate(xi->data.data(), mask->data(), out->data.data(),
+                         total);
   if (out->requires_grad) {
     TensorImpl* oi = out.get();
     out->backward_fn = [xi, oi, mask, total]() {
       if (oi->grad.empty()) return;
       xi->EnsureGrad();
-      for (int64_t i = 0; i < total; ++i) {
-        xi->grad[i] += oi->grad[i] * (*mask)[i];
-      }
+      kernels::MulAccumulate(oi->grad.data(), mask->data(), xi->grad.data(),
+                             total);
     };
   }
   return FinishOp(std::move(out));
@@ -591,35 +482,15 @@ Tensor L2NormalizeRows(const Tensor& x, float eps) {
   const int64_t n = x.rows(), d = x.cols();
   auto out = MakeOutput("L2NormalizeRows", n, d, {xi});
   auto norms = std::make_shared<std::vector<float>>(n, 0.0f);
-  for (int64_t i = 0; i < n; ++i) {
-    float acc = 0.0f;
-    for (int64_t j = 0; j < d; ++j) {
-      const float v = xi->data[i * d + j];
-      acc += v * v;
-    }
-    (*norms)[i] = std::max(std::sqrt(acc), eps);
-    const float inv = 1.0f / (*norms)[i];
-    for (int64_t j = 0; j < d; ++j) {
-      out->data[i * d + j] = xi->data[i * d + j] * inv;
-    }
-  }
+  kernels::L2NormalizeRows(xi->data.data(), n, d, eps, out->data.data(),
+                           norms->data());
   if (out->requires_grad) {
     TensorImpl* oi = out.get();
     out->backward_fn = [xi, oi, norms, n, d]() {
       if (oi->grad.empty()) return;
       xi->EnsureGrad();
-      // d x_i = (g_i - y_i * (g_i . y_i)) / ||x_i||
-      for (int64_t i = 0; i < n; ++i) {
-        float dot = 0.0f;
-        for (int64_t j = 0; j < d; ++j) {
-          dot += oi->grad[i * d + j] * oi->data[i * d + j];
-        }
-        const float inv = 1.0f / (*norms)[i];
-        for (int64_t j = 0; j < d; ++j) {
-          xi->grad[i * d + j] +=
-              (oi->grad[i * d + j] - oi->data[i * d + j] * dot) * inv;
-        }
-      }
+      kernels::L2NormalizeRowsBackward(oi->grad.data(), oi->data.data(),
+                                       norms->data(), n, d, xi->grad.data());
     };
   }
   return FinishOp(std::move(out));
@@ -630,33 +501,14 @@ Tensor RowSoftmax(const Tensor& x) {
   const int64_t n = x.rows(), k = x.cols();
   auto xi = x.impl();
   auto out = MakeOutput("RowSoftmax", n, k, {xi});
-  for (int64_t i = 0; i < n; ++i) {
-    float row_max = -std::numeric_limits<float>::infinity();
-    for (int64_t j = 0; j < k; ++j) {
-      row_max = std::max(row_max, xi->data[i * k + j]);
-    }
-    float denom = 0.0f;
-    for (int64_t j = 0; j < k; ++j) {
-      out->data[i * k + j] = std::exp(xi->data[i * k + j] - row_max);
-      denom += out->data[i * k + j];
-    }
-    for (int64_t j = 0; j < k; ++j) out->data[i * k + j] /= denom;
-  }
+  kernels::RowSoftmax(xi->data.data(), n, k, out->data.data());
   if (out->requires_grad) {
     TensorImpl* oi = out.get();
     out->backward_fn = [xi, oi, n, k]() {
       if (oi->grad.empty()) return;
       xi->EnsureGrad();
-      for (int64_t i = 0; i < n; ++i) {
-        float dot = 0.0f;
-        for (int64_t j = 0; j < k; ++j) {
-          dot += oi->grad[i * k + j] * oi->data[i * k + j];
-        }
-        for (int64_t j = 0; j < k; ++j) {
-          xi->grad[i * k + j] +=
-              oi->data[i * k + j] * (oi->grad[i * k + j] - dot);
-        }
-      }
+      kernels::RowSoftmaxBackward(oi->grad.data(), oi->data.data(), n, k,
+                                  xi->grad.data());
     };
   }
   return FinishOp(std::move(out));
@@ -667,11 +519,7 @@ Tensor TransposeNoGrad(const Tensor& x) {
   const int64_t n = x.rows(), d = x.cols();
   Tensor out = Tensor::Zeros(d, n);
   out.impl()->op = "TransposeNoGrad";
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = 0; j < d; ++j) {
-      out.Set(j, i, x.At(i, j));
-    }
-  }
+  kernels::Transpose(x.data(), n, d, out.data());
   return out;
 }
 

@@ -12,6 +12,12 @@ namespace hygnn::tensor {
 /// All operators build the dynamic autograd graph: the result requires
 /// grad iff any input does, and carries a closure that back-propagates
 /// into its inputs when `Tensor::Backward()` runs on a downstream scalar.
+///
+/// This is the *autograd layer*: shape checks and graph wiring only.
+/// The numeric work (forward and backward) is delegated to the raw
+/// float kernels in tensor/kernels/kernels.h, which parallelize over
+/// the global core::ThreadPool with bit-identical results at any
+/// thread count (see DESIGN.md §7).
 
 /// Dense matrix product: [n,k] x [k,m] -> [n,m].
 Tensor MatMul(const Tensor& a, const Tensor& b);

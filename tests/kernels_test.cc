@@ -1,0 +1,343 @@
+// Kernel-layer tests: (1) threaded execution is bit-identical to the
+// threads=1 reference for every parallelized op, forward AND backward;
+// (2) gradcheck still passes with a 4-thread pool; (3) two seeded
+// training runs produce identical per-epoch losses at any thread
+// count.
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "data/featurize.h"
+#include "data/generator.h"
+#include "data/pairs.h"
+#include "graph/builders.h"
+#include "hygnn/model.h"
+#include "hygnn/trainer.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "tests/gradcheck.h"
+
+namespace hygnn {
+namespace {
+
+/// Builds inputs (pushing every differentiable leaf into *inputs) and
+/// returns the op output. Must be deterministic across invocations.
+using OpBuilder =
+    std::function<tensor::Tensor(std::vector<tensor::Tensor>* inputs)>;
+
+/// Output data followed by each input's gradient after Backward().
+std::vector<std::vector<float>> RunOpAtThreads(const OpBuilder& build,
+                                               int32_t threads) {
+  core::SetNumThreads(threads);
+  std::vector<tensor::Tensor> inputs;
+  tensor::Tensor y = build(&inputs);
+  std::vector<std::vector<float>> captured;
+  captured.emplace_back(y.data(), y.data() + y.size());
+  if (y.requires_grad()) {
+    tensor::Tensor loss = y.size() == 1 ? y : tensor::ReduceSum(y);
+    loss.Backward();
+    for (auto& input : inputs) {
+      if (input.has_grad()) {
+        captured.emplace_back(input.grad(), input.grad() + input.size());
+      }
+    }
+  }
+  core::SetNumThreads(1);
+  return captured;
+}
+
+/// Expects bitwise equality between the sequential reference and runs
+/// at 2 and 4 threads.
+void ExpectThreadParity(const std::string& op, const OpBuilder& build) {
+  const auto reference = RunOpAtThreads(build, 1);
+  for (int32_t threads : {2, 4}) {
+    const auto threaded = RunOpAtThreads(build, threads);
+    ASSERT_EQ(threaded.size(), reference.size()) << op;
+    for (size_t b = 0; b < reference.size(); ++b) {
+      ASSERT_EQ(threaded[b].size(), reference[b].size()) << op;
+      const bool identical =
+          std::memcmp(threaded[b].data(), reference[b].data(),
+                      reference[b].size() * sizeof(float)) == 0;
+      EXPECT_TRUE(identical)
+          << op << " buffer " << b << " differs at " << threads
+          << " threads (0 = output, >0 = input gradients)";
+    }
+  }
+}
+
+/// Sizes comfortably above the kernels' row grain so the pool really
+/// splits the work.
+constexpr int64_t kRows = 37;
+constexpr int64_t kCols = 19;
+
+tensor::Tensor MakeLeaf(std::vector<tensor::Tensor>* inputs, uint64_t seed,
+                        int64_t rows, int64_t cols) {
+  core::Rng rng(seed);
+  tensor::Tensor t = tensor::NormalInit(rows, cols, 1.0f, &rng, true);
+  inputs->push_back(t);
+  return t;
+}
+
+TEST(KernelParityTest, MatMul) {
+  ExpectThreadParity("MatMul", [](std::vector<tensor::Tensor>* inputs) {
+    auto a = MakeLeaf(inputs, 1, kRows, kCols);
+    auto b = MakeLeaf(inputs, 2, kCols, 23);
+    return tensor::MatMul(a, b);
+  });
+}
+
+TEST(KernelParityTest, AddSubMulScale) {
+  ExpectThreadParity("Add", [](std::vector<tensor::Tensor>* inputs) {
+    return tensor::Add(MakeLeaf(inputs, 3, kRows, kCols),
+                       MakeLeaf(inputs, 4, kRows, kCols));
+  });
+  ExpectThreadParity("Sub", [](std::vector<tensor::Tensor>* inputs) {
+    return tensor::Sub(MakeLeaf(inputs, 5, kRows, kCols),
+                       MakeLeaf(inputs, 6, kRows, kCols));
+  });
+  ExpectThreadParity("Mul", [](std::vector<tensor::Tensor>* inputs) {
+    return tensor::Mul(MakeLeaf(inputs, 7, kRows, kCols),
+                       MakeLeaf(inputs, 8, kRows, kCols));
+  });
+  ExpectThreadParity("Scale", [](std::vector<tensor::Tensor>* inputs) {
+    return tensor::Scale(MakeLeaf(inputs, 9, kRows, kCols), -1.75f);
+  });
+}
+
+TEST(KernelParityTest, Broadcasts) {
+  ExpectThreadParity("AddRowBroadcast",
+                     [](std::vector<tensor::Tensor>* inputs) {
+    auto x = MakeLeaf(inputs, 10, kRows, kCols);
+    auto bias = MakeLeaf(inputs, 11, 1, kCols);
+    return tensor::AddRowBroadcast(x, bias);
+  });
+  ExpectThreadParity("MulColumnBroadcast",
+                     [](std::vector<tensor::Tensor>* inputs) {
+    auto x = MakeLeaf(inputs, 12, kRows, kCols);
+    auto w = MakeLeaf(inputs, 13, kRows, 1);
+    return tensor::MulColumnBroadcast(x, w);
+  });
+}
+
+TEST(KernelParityTest, ConcatAndGather) {
+  ExpectThreadParity("ConcatCols", [](std::vector<tensor::Tensor>* inputs) {
+    return tensor::ConcatCols(MakeLeaf(inputs, 14, kRows, kCols),
+                              MakeLeaf(inputs, 15, kRows, 7));
+  });
+  ExpectThreadParity("IndexSelectRows",
+                     [](std::vector<tensor::Tensor>* inputs) {
+    auto x = MakeLeaf(inputs, 16, kRows, kCols);
+    // Duplicate indices exercise the scatter-add backward path that
+    // must stay race-free and ordered.
+    std::vector<int32_t> indices;
+    for (int32_t i = 0; i < 64; ++i) {
+      indices.push_back(i % static_cast<int32_t>(kRows));
+      indices.push_back(3);
+    }
+    return tensor::IndexSelectRows(x, indices);
+  });
+}
+
+std::vector<int32_t> TestSegmentIds(int64_t n, int64_t num_segments) {
+  // Scattered assignment with segment 2 intentionally left empty.
+  std::vector<int32_t> seg(n);
+  for (int64_t i = 0; i < n; ++i) {
+    int32_t s = static_cast<int32_t>((i * 7 + 3) % num_segments);
+    if (s == 2) s = 1;
+    seg[i] = s;
+  }
+  return seg;
+}
+
+TEST(KernelParityTest, SegmentOps) {
+  constexpr int64_t kN = 200, kSegments = 40;
+  ExpectThreadParity("SegmentSoftmax",
+                     [](std::vector<tensor::Tensor>* inputs) {
+    auto scores = MakeLeaf(inputs, 17, kN, 1);
+    return tensor::SegmentSoftmax(scores, TestSegmentIds(kN, kSegments),
+                                  kSegments);
+  });
+  ExpectThreadParity("SegmentSum", [](std::vector<tensor::Tensor>* inputs) {
+    auto x = MakeLeaf(inputs, 18, kN, kCols);
+    return tensor::SegmentSum(x, TestSegmentIds(kN, kSegments), kSegments);
+  });
+}
+
+TEST(KernelParityTest, RowwiseAndReductions) {
+  ExpectThreadParity("RowwiseDot", [](std::vector<tensor::Tensor>* inputs) {
+    return tensor::RowwiseDot(MakeLeaf(inputs, 19, kRows, kCols),
+                              MakeLeaf(inputs, 20, kRows, kCols));
+  });
+  ExpectThreadParity("ReduceMean", [](std::vector<tensor::Tensor>* inputs) {
+    return tensor::ReduceMean(MakeLeaf(inputs, 21, kRows, kCols));
+  });
+  ExpectThreadParity("L2NormalizeRows",
+                     [](std::vector<tensor::Tensor>* inputs) {
+    return tensor::L2NormalizeRows(MakeLeaf(inputs, 22, kRows, kCols));
+  });
+  ExpectThreadParity("RowSoftmax", [](std::vector<tensor::Tensor>* inputs) {
+    return tensor::RowSoftmax(MakeLeaf(inputs, 23, kRows, kCols));
+  });
+}
+
+TEST(KernelParityTest, Activations) {
+  // Large enough to exceed the elementwise grain (4096) so the maps
+  // actually split into chunks.
+  constexpr int64_t kBig = 9000;
+  const std::vector<std::pair<std::string, std::function<tensor::Tensor(
+                                               const tensor::Tensor&)>>>
+      unary_ops = {
+          {"Relu", [](const tensor::Tensor& x) { return tensor::Relu(x); }},
+          {"LeakyRelu",
+           [](const tensor::Tensor& x) { return tensor::LeakyRelu(x, 0.1f); }},
+          {"Sigmoid",
+           [](const tensor::Tensor& x) { return tensor::Sigmoid(x); }},
+          {"Tanh", [](const tensor::Tensor& x) { return tensor::Tanh(x); }},
+          {"Exp", [](const tensor::Tensor& x) { return tensor::Exp(x); }},
+          {"Log", [](const tensor::Tensor& x) { return tensor::Log(x); }},
+      };
+  for (const auto& [name, op] : unary_ops) {
+    ExpectThreadParity(name, [&op](std::vector<tensor::Tensor>* inputs) {
+      return op(MakeLeaf(inputs, 24, kBig, 1));
+    });
+  }
+}
+
+TEST(KernelParityTest, DropoutWithSeededRng) {
+  ExpectThreadParity("Dropout", [](std::vector<tensor::Tensor>* inputs) {
+    auto x = MakeLeaf(inputs, 25, kRows, kCols);
+    core::Rng rng(26);  // the mask stream is drawn sequentially
+    return tensor::Dropout(x, 0.3f, /*training=*/true, &rng);
+  });
+}
+
+TEST(KernelParityTest, TransposeNoGrad) {
+  ExpectThreadParity("TransposeNoGrad",
+                     [](std::vector<tensor::Tensor>* inputs) {
+    core::Rng rng(27);
+    tensor::Tensor x = tensor::NormalInit(kRows, kCols, 1.0f, &rng, false);
+    inputs->clear();
+    return tensor::TransposeNoGrad(x);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Gradcheck re-run with a live 4-thread pool
+// ---------------------------------------------------------------------------
+
+class ThreadedGradcheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override { core::SetNumThreads(4); }
+  void TearDown() override { core::SetNumThreads(1); }
+};
+
+tensor::Tensor GradcheckInput(int64_t rows, int64_t cols) {
+  core::Rng rng(99);
+  return tensor::NormalInit(rows, cols, 1.0f, &rng, true);
+}
+
+TEST_F(ThreadedGradcheckTest, MatMul) {
+  core::Rng rng(100);
+  tensor::Tensor b = tensor::NormalInit(5, 6, 1.0f, &rng, false);
+  testing::ExpectGradMatchesNumeric(
+      [] { return GradcheckInput(9, 5); },
+      [&b](const tensor::Tensor& x) {
+        return tensor::ReduceMean(tensor::MatMul(x, b));
+      });
+}
+
+TEST_F(ThreadedGradcheckTest, SegmentSoftmax) {
+  const std::vector<int32_t> seg = {0, 1, 0, 2, 1, 0, 2, 2, 1, 0, 3, 3};
+  testing::ExpectGradMatchesNumeric(
+      [] { return GradcheckInput(12, 1); },
+      [&seg](const tensor::Tensor& x) {
+        tensor::Tensor alpha = tensor::SegmentSoftmax(x, seg, 4);
+        return tensor::ReduceSum(tensor::Mul(alpha, alpha));
+      });
+}
+
+TEST_F(ThreadedGradcheckTest, SegmentSum) {
+  const std::vector<int32_t> seg = {0, 1, 0, 2, 1, 0, 2, 2, 1};
+  testing::ExpectGradMatchesNumeric(
+      [] { return GradcheckInput(9, 4); },
+      [&seg](const tensor::Tensor& x) {
+        return tensor::ReduceMean(tensor::SegmentSum(x, seg, 3));
+      });
+}
+
+TEST_F(ThreadedGradcheckTest, L2NormalizeAndSoftmax) {
+  testing::ExpectGradMatchesNumeric(
+      [] { return GradcheckInput(7, 5); },
+      [](const tensor::Tensor& x) {
+        return tensor::ReduceMean(tensor::L2NormalizeRows(x));
+      });
+  testing::ExpectGradMatchesNumeric(
+      [] { return GradcheckInput(6, 5); },
+      [](const tensor::Tensor& x) {
+        tensor::Tensor y = tensor::RowSoftmax(x);
+        return tensor::ReduceSum(tensor::Mul(y, y));
+      });
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end training determinism
+// ---------------------------------------------------------------------------
+
+std::vector<float> TrainOnce(int32_t threads) {
+  data::DatasetConfig data_config;
+  data_config.num_drugs = 60;
+  data_config.seed = 7;
+  auto dataset = data::GenerateDataset(data_config).value();
+  data::FeaturizeConfig feat_config;
+  feat_config.espf_frequency_threshold = 3;
+  auto featurizer =
+      data::SubstructureFeaturizer::Build(dataset.drugs(), feat_config)
+          .value();
+  auto hypergraph = graph::BuildDrugHypergraph(
+      featurizer.drug_substructures(), featurizer.num_substructures());
+  auto context = model::HypergraphContext::FromHypergraph(hypergraph);
+  core::Rng pair_rng(8);
+  auto pairs = data::BuildBalancedPairs(dataset, &pair_rng);
+
+  core::Rng model_rng(9);
+  model::HyGnnConfig model_config;
+  model_config.encoder.hidden_dim = 16;
+  model_config.encoder.output_dim = 16;
+  model::HyGnnModel model(featurizer.num_substructures(), model_config,
+                          &model_rng);
+  model::TrainConfig train_config;
+  train_config.epochs = 8;
+  train_config.seed = 11;
+  train_config.threads = threads;
+  model::HyGnnTrainer trainer(&model, train_config);
+  trainer.Fit(context, pairs);
+  std::vector<float> losses = trainer.epoch_losses();
+  core::SetNumThreads(1);
+  return losses;
+}
+
+TEST(TrainingDeterminismTest, SeededRunsBitIdenticalAcrossThreadCounts) {
+  const std::vector<float> run_a = TrainOnce(4);
+  const std::vector<float> run_b = TrainOnce(4);
+  const std::vector<float> sequential = TrainOnce(1);
+  ASSERT_EQ(run_a.size(), 8u);
+  // Two seeded runs agree with each other AND with the sequential
+  // path, epoch by epoch, bit for bit.
+  ASSERT_EQ(run_a.size(), run_b.size());
+  ASSERT_EQ(run_a.size(), sequential.size());
+  for (size_t e = 0; e < run_a.size(); ++e) {
+    EXPECT_EQ(run_a[e], run_b[e]) << "epoch " << e;
+    EXPECT_EQ(run_a[e], sequential[e]) << "epoch " << e;
+  }
+}
+
+}  // namespace
+}  // namespace hygnn

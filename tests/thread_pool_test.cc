@@ -1,0 +1,151 @@
+#include "core/thread_pool.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/flags.h"
+
+namespace hygnn::core {
+namespace {
+
+/// Restores a single-thread pool after each test so the global state
+/// never leaks across test binaries' suites.
+class ThreadPoolTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetNumThreads(1); }
+};
+
+TEST_F(ThreadPoolTest, SetAndGetNumThreads) {
+  SetNumThreads(4);
+  EXPECT_EQ(NumThreads(), 4);
+  SetNumThreads(1);
+  EXPECT_EQ(NumThreads(), 1);
+  SetNumThreads(0);  // clamps to 1
+  EXPECT_EQ(NumThreads(), 1);
+}
+
+TEST_F(ThreadPoolTest, CoversRangeExactlyOnce) {
+  SetNumThreads(4);
+  const int64_t n = 10'000;
+  std::vector<int> counts(n, 0);
+  ParallelFor(0, n, 64, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) ++counts[i];
+  });
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(counts[i], 1) << "index " << i;
+  }
+}
+
+TEST_F(ThreadPoolTest, SingleThreadRunsInlineAsOneChunk) {
+  SetNumThreads(1);
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  ParallelFor(3, 1000, 10, [&](int64_t lo, int64_t hi) {
+    chunks.push_back({lo, hi});
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<int64_t, int64_t>{3, 1000}));
+}
+
+TEST_F(ThreadPoolTest, PartitionDependsOnlyOnGrain) {
+  // The chunk boundaries must be a pure function of (begin, end,
+  // grain) — the determinism contract the kernels build on.
+  SetNumThreads(4);
+  std::mutex mutex;
+  std::set<std::pair<int64_t, int64_t>> chunks;
+  ParallelFor(0, 1000, 64, [&](int64_t lo, int64_t hi) {
+    std::lock_guard<std::mutex> lock(mutex);
+    chunks.insert({lo, hi});
+  });
+  std::set<std::pair<int64_t, int64_t>> expected;
+  for (int64_t lo = 0; lo < 1000; lo += 64) {
+    expected.insert({lo, std::min<int64_t>(1000, lo + 64)});
+  }
+  EXPECT_EQ(chunks, expected);
+}
+
+TEST_F(ThreadPoolTest, EmptyRangeNeverInvokes) {
+  SetNumThreads(4);
+  bool called = false;
+  ParallelFor(5, 5, 1, [&](int64_t, int64_t) { called = true; });
+  ParallelFor(7, 3, 1, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST_F(ThreadPoolTest, NestedCallRunsInline) {
+  SetNumThreads(4);
+  std::vector<int> counts(256, 0);
+  ParallelFor(0, 4, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t outer = lo; outer < hi; ++outer) {
+      ParallelFor(outer * 64, (outer + 1) * 64, 8,
+                  [&](int64_t ilo, int64_t ihi) {
+        for (int64_t i = ilo; i < ihi; ++i) ++counts[i];
+      });
+    }
+  });
+  for (size_t i = 0; i < counts.size(); ++i) {
+    ASSERT_EQ(counts[i], 1) << "index " << i;
+  }
+}
+
+// Regression test for the exception contract: a throwing worker task
+// must surface in the caller instead of terminating the process.
+TEST_F(ThreadPoolTest, ExceptionPropagatesFromWorkers) {
+  SetNumThreads(4);
+  EXPECT_THROW(
+      ParallelFor(0, 1000, 1,
+                  [&](int64_t lo, int64_t) {
+                    if (lo == 637) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST_F(ThreadPoolTest, ExceptionPropagatesInline) {
+  SetNumThreads(1);
+  EXPECT_THROW(ParallelFor(0, 10, 100,
+                           [](int64_t, int64_t) {
+                             throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+}
+
+TEST_F(ThreadPoolTest, PoolUsableAfterException) {
+  SetNumThreads(4);
+  try {
+    ParallelFor(0, 1000, 1, [&](int64_t lo, int64_t) {
+      if (lo == 100) throw std::runtime_error("boom");
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  std::vector<int> counts(1000, 0);
+  ParallelFor(0, 1000, 16, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) ++counts[i];
+  });
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(counts[i], 1) << "index " << i;
+  }
+}
+
+TEST(EnvIntTest, ParsesAndFallsBack) {
+  ::setenv("HYGNN_TEST_ENV_INT", "12", 1);
+  EXPECT_EQ(EnvInt("HYGNN_TEST_ENV_INT", 3), 12);
+  ::setenv("HYGNN_TEST_ENV_INT", "-4", 1);
+  EXPECT_EQ(EnvInt("HYGNN_TEST_ENV_INT", 3), -4);
+  ::setenv("HYGNN_TEST_ENV_INT", "notanumber", 1);
+  EXPECT_EQ(EnvInt("HYGNN_TEST_ENV_INT", 3), 3);
+  ::setenv("HYGNN_TEST_ENV_INT", "12abc", 1);
+  EXPECT_EQ(EnvInt("HYGNN_TEST_ENV_INT", 3), 3);
+  ::setenv("HYGNN_TEST_ENV_INT", "", 1);
+  EXPECT_EQ(EnvInt("HYGNN_TEST_ENV_INT", 3), 3);
+  ::unsetenv("HYGNN_TEST_ENV_INT");
+  EXPECT_EQ(EnvInt("HYGNN_TEST_ENV_INT", 3), 3);
+}
+
+}  // namespace
+}  // namespace hygnn::core
