@@ -1,0 +1,188 @@
+// Serving-path benchmark: cold forward (encoder re-run per request)
+// vs the EmbeddingStore-backed cached PairScorer, plus top-K screening
+// and incremental AddDrug latency. Verifies the cached path is
+// bit-identical to the cold path and writes BENCH_serve.json
+// (override with --json_out=PATH).
+//
+// The request shape mirrors interactive serving: small pair batches
+// (default 64) against a fixed catalog, where re-encoding every drug
+// per request dominates the cold path.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/logging.h"
+#include "core/rng.h"
+#include "core/stopwatch.h"
+#include "data/featurize.h"
+#include "data/generator.h"
+#include "graph/builders.h"
+#include "hygnn/model.h"
+#include "hygnn/scorer.h"
+#include "serve/bundle.h"
+#include "serve/embedding_store.h"
+#include "serve/scoring.h"
+
+namespace hygnn {
+namespace {
+
+struct ServeBenchConfig {
+  int32_t num_drugs = 200;
+  int32_t batch_pairs = 64;
+  int32_t requests = 50;
+  uint64_t seed = 42;
+};
+
+int RunServeBench(const ServeBenchConfig& config,
+                  const std::string& json_path) {
+  data::DatasetConfig data_config;
+  data_config.num_drugs = config.num_drugs;
+  data_config.seed = config.seed;
+  auto dataset = data::GenerateDataset(data_config).value();
+  data::FeaturizeConfig feat_config;
+  feat_config.espf_frequency_threshold = 3;
+  auto featurizer =
+      data::SubstructureFeaturizer::Build(dataset.drugs(), feat_config)
+          .value();
+  // Hold the last drug out of the catalog for the AddDrug measurement.
+  std::vector<std::vector<int32_t>> catalog(
+      featurizer.drug_substructures().begin(),
+      featurizer.drug_substructures().end() - 1);
+  auto hypergraph =
+      graph::BuildDrugHypergraph(catalog, featurizer.num_substructures());
+  auto context = model::HypergraphContext::FromHypergraph(hypergraph);
+
+  core::Rng rng(config.seed);
+  model::HyGnnConfig model_config;
+  auto model = model::HyGnnModel(featurizer.num_substructures(),
+                                 model_config, &rng);
+
+  // Request stream: `requests` batches of `batch_pairs` pairs each.
+  const int32_t catalog_size = context.num_edges;
+  core::Rng pair_rng(config.seed + 1);
+  std::vector<std::vector<data::LabeledPair>> batches(
+      static_cast<size_t>(config.requests));
+  for (auto& batch : batches) {
+    batch.reserve(static_cast<size_t>(config.batch_pairs));
+    for (int32_t i = 0; i < config.batch_pairs; ++i) {
+      const auto a = static_cast<int32_t>(
+          pair_rng.UniformInt(static_cast<uint64_t>(catalog_size)));
+      auto b = static_cast<int32_t>(
+          pair_rng.UniformInt(static_cast<uint64_t>(catalog_size - 1)));
+      if (b >= a) ++b;
+      batch.push_back({a, b, 0.0f});
+    }
+  }
+
+  const int64_t total_pairs =
+      static_cast<int64_t>(config.requests) * config.batch_pairs;
+
+  // Cold path: full forward (encoder + decoder) per request.
+  model::ContextScorer cold(&model, &context);
+  std::vector<std::vector<float>> cold_scores;
+  core::Stopwatch cold_watch;
+  for (const auto& batch : batches) cold_scores.push_back(cold.Score(batch));
+  const double cold_seconds = cold_watch.ElapsedSeconds();
+
+  // Cached path: encode the catalog once, then decoder-only scoring.
+  serve::EmbeddingStore store(&model);
+  core::Stopwatch rebuild_watch;
+  HYGNN_CHECK(store.Rebuild(context).ok());
+  const double rebuild_seconds = rebuild_watch.ElapsedSeconds();
+  serve::PairScorer cached(&model, &store);
+  std::vector<std::vector<float>> cached_scores;
+  core::Stopwatch cached_watch;
+  for (const auto& batch : batches) {
+    cached_scores.push_back(cached.Score(batch));
+  }
+  const double cached_seconds = cached_watch.ElapsedSeconds();
+
+  bool bit_identical = true;
+  for (size_t r = 0; r < cold_scores.size(); ++r) {
+    for (size_t i = 0; i < cold_scores[r].size(); ++i) {
+      bit_identical =
+          bit_identical && cold_scores[r][i] == cached_scores[r][i];
+    }
+  }
+
+  // Screening: rank the whole catalog against one query drug.
+  core::Stopwatch screen_watch;
+  const auto hits = serve::ScreeningEngine(&model, &store)
+                        .TopK(/*query=*/0, /*k=*/10);
+  const double screen_ms = screen_watch.ElapsedMillis();
+
+  // Cold-start join of the held-out drug (encoder has 1 layer here, so
+  // the incremental path applies).
+  core::Stopwatch add_watch;
+  const auto added =
+      store.AddDrugSmiles(featurizer, dataset.drugs().back().smiles);
+  const double add_ms = add_watch.ElapsedMillis();
+  HYGNN_CHECK(added.ok()) << added.status().ToString();
+
+  const double cold_pps = static_cast<double>(total_pairs) / cold_seconds;
+  const double cached_pps =
+      static_cast<double>(total_pairs) / cached_seconds;
+  const double speedup = cold_pps > 0.0 ? cached_pps / cold_pps : 0.0;
+
+  std::printf("serve bench: %d drugs, %d requests x %d pairs\n",
+              config.num_drugs, config.requests, config.batch_pairs);
+  std::printf("  cold    %12.0f pairs/s\n", cold_pps);
+  std::printf("  cached  %12.0f pairs/s  (%.1fx, rebuild %.1f ms)\n",
+              cached_pps, speedup, rebuild_seconds * 1e3);
+  std::printf("  screening top-10 of %d: %.2f ms (best drug %d)\n",
+              catalog_size, screen_ms, hits.empty() ? -1 : hits[0].drug);
+  std::printf("  AddDrug cold-start: %.3f ms\n", add_ms);
+  std::printf("  bit_identical: %s\n", bit_identical ? "true" : "false");
+
+  std::FILE* file = std::fopen(json_path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(
+      file,
+      "{\n  \"bench\": \"serve\",\n"
+      "  \"num_drugs\": %d,\n  \"requests\": %d,\n  \"batch_pairs\": %d,\n"
+      "  \"cold_pairs_per_sec\": %.1f,\n"
+      "  \"cached_pairs_per_sec\": %.1f,\n"
+      "  \"speedup\": %.2f,\n"
+      "  \"rebuild_ms\": %.3f,\n"
+      "  \"screening_top10_ms\": %.3f,\n"
+      "  \"add_drug_ms\": %.3f,\n"
+      "  \"bit_identical\": %s\n}\n",
+      config.num_drugs, config.requests, config.batch_pairs, cold_pps,
+      cached_pps, speedup, rebuild_seconds * 1e3, screen_ms, add_ms,
+      bit_identical ? "true" : "false");
+  std::fclose(file);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (!bit_identical) {
+    std::fprintf(stderr,
+                 "FAIL: cached scores are not bit-identical to cold\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hygnn
+
+int main(int argc, char** argv) {
+  hygnn::ServeBenchConfig config;
+  std::string json_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json_out=", 0) == 0) {
+      json_path = arg.substr(std::string("--json_out=").size());
+    } else if (arg.rfind("--drugs=", 0) == 0) {
+      config.num_drugs = std::stoi(arg.substr(std::string("--drugs=").size()));
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      config.batch_pairs = std::stoi(arg.substr(std::string("--batch=").size()));
+    } else if (arg.rfind("--requests=", 0) == 0) {
+      config.requests =
+          std::stoi(arg.substr(std::string("--requests=").size()));
+    }
+  }
+  return hygnn::RunServeBench(config, json_path);
+}

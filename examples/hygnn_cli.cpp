@@ -14,10 +14,15 @@
 //       --mode espf --model model.bin
 //   hygnn_cli predict --drugs_csv drugs.csv --mode espf
 //       --model model.bin --a DB00003 --b DB00017
+//   hygnn_cli screen  --drugs_csv drugs.csv --mode espf
+//       --model model.bin --query DB00003 --top 10
 //
-// Featurization is deterministic, so `train` and the later commands
-// rebuild the identical vocabulary from the drugs CSV; only the weights
-// live in the model file.
+// `train` writes a self-describing model bundle (serve::ModelBundle):
+// config, substructure vocabulary, and weights in one file. The later
+// commands restore the model from the bundle alone — no architecture
+// flags needed — and only use the drugs CSV for the catalog hypergraph
+// and DrugBank-id lookup. `screen` serves ranked interaction partners
+// from the cached embedding store.
 
 #include <cstdio>
 #include <string>
@@ -31,6 +36,8 @@
 #include "graph/builders.h"
 #include "hygnn/model.h"
 #include "hygnn/trainer.h"
+#include "serve/embedding_store.h"
+#include "serve/scoring.h"
 
 namespace {
 
@@ -139,8 +146,11 @@ int CmdTrain(const core::FlagParser& flags) {
   std::printf("final training loss: %.4f\n", loss);
 
   const std::string model_path = flags.GetString("model", "model.bin");
-  if (auto s = hygnn.SaveWeights(model_path); !s.ok()) return Fail(s);
-  std::printf("saved model to %s\n", model_path.c_str());
+  if (auto s = hygnn.Save(model_path, corpus.featurizer.vocabulary());
+      !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("saved model bundle to %s\n", model_path.c_str());
   return 0;
 }
 
@@ -152,12 +162,12 @@ int CmdEvaluate(const core::FlagParser& flags) {
       data::ReadPairsCsv(flags.GetString("pairs_csv", "pairs.csv"));
   if (!pairs_or.ok()) return Fail(pairs_or.status());
 
-  core::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
-  model::HyGnnModel hygnn(corpus.featurizer.num_substructures(),
-                          ModelConfigFromFlags(flags), &rng);
-  if (auto s = hygnn.LoadWeights(flags.GetString("model", "model.bin"));
-      !s.ok()) {
-    return Fail(s);
+  auto hygnn_or = model::HyGnnModel::Load(flags.GetString("model", "model.bin"));
+  if (!hygnn_or.ok()) return Fail(hygnn_or.status());
+  auto& hygnn = hygnn_or.value();
+  if (hygnn.input_dim() != corpus.featurizer.num_substructures()) {
+    return Fail(core::Status::FailedPrecondition(
+        "bundle vocabulary does not match the drugs CSV featurization"));
   }
   auto scores = hygnn.PredictProbabilities(corpus.context, pairs_or.value());
   auto result =
@@ -186,13 +196,9 @@ int CmdPredict(const core::FlagParser& flags) {
     return 1;
   }
 
-  core::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
-  model::HyGnnModel hygnn(corpus.featurizer.num_substructures(),
-                          ModelConfigFromFlags(flags), &rng);
-  if (auto s = hygnn.LoadWeights(flags.GetString("model", "model.bin"));
-      !s.ok()) {
-    return Fail(s);
-  }
+  auto hygnn_or = model::HyGnnModel::Load(flags.GetString("model", "model.bin"));
+  if (!hygnn_or.ok()) return Fail(hygnn_or.status());
+  auto& hygnn = hygnn_or.value();
   std::vector<data::LabeledPair> query{{a, b, 0.0f}};
   auto scores = hygnn.PredictProbabilities(corpus.context, query);
   std::printf("%s + %s -> interaction probability %.4f\n",
@@ -202,13 +208,47 @@ int CmdPredict(const core::FlagParser& flags) {
   return 0;
 }
 
+int CmdScreen(const core::FlagParser& flags) {
+  auto corpus_or = LoadCorpus(flags);
+  if (!corpus_or.ok()) return Fail(corpus_or.status());
+  auto& corpus = corpus_or.value();
+
+  auto hygnn_or = model::HyGnnModel::Load(flags.GetString("model", "model.bin"));
+  if (!hygnn_or.ok()) return Fail(hygnn_or.status());
+  auto& hygnn = hygnn_or.value();
+
+  int32_t query = -1;
+  const std::string id = flags.GetString("query", "");
+  for (const auto& drug : corpus.drugs) {
+    if (drug.drugbank_id == id || drug.name == id) query = drug.index;
+  }
+  if (query < 0) {
+    std::fprintf(stderr, "error: --query must name a drug from the CSV\n");
+    return 1;
+  }
+
+  serve::EmbeddingStore store(&hygnn);
+  if (auto s = store.Rebuild(corpus.context); !s.ok()) return Fail(s);
+  serve::ScreeningEngine engine(&hygnn, &store);
+  const auto keep = static_cast<int32_t>(flags.GetInt("top", 10));
+  const auto hits = engine.TopK(query, keep);
+  std::printf("top %zu interaction candidates for %s:\n", hits.size(),
+              corpus.drugs[static_cast<size_t>(query)].drugbank_id.c_str());
+  for (const auto& hit : hits) {
+    const auto& drug = corpus.drugs[static_cast<size_t>(hit.drug)];
+    std::printf("  %-10s %-20s %.4f\n", drug.drugbank_id.c_str(),
+                drug.name.c_str(), hit.score);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   core::FlagParser flags;
   if (!flags.Parse(argc, argv).ok() || flags.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: hygnn_cli <generate|train|evaluate|predict> "
+                 "usage: hygnn_cli <generate|train|evaluate|predict|screen> "
                  "[flags]\n");
     return 1;
   }
@@ -217,6 +257,7 @@ int main(int argc, char** argv) {
   if (command == "train") return CmdTrain(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "predict") return CmdPredict(flags);
+  if (command == "screen") return CmdScreen(flags);
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return 1;
 }

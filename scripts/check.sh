@@ -25,7 +25,8 @@ cmake --build --preset "${PRESET}" -j "${JOBS}"
 echo "== test (${PRESET}) =="
 ctest --preset "${PRESET}" -j "${JOBS}"
 
-# The thread-pool kernels are the only concurrent code in the repo, so
+# The thread-pool kernels and the serving engine (batched PairScorer
+# chunks score on pool workers) are the concurrent code in the repo, so
 # their tests always get a ThreadSanitizer pass, whatever preset the
 # main suite ran under. Binaries are run directly (not via ctest) so a
 # targeted build suffices.
@@ -33,9 +34,10 @@ if [[ "${PRESET}" != "tsan" ]]; then
   echo "== threaded tests (tsan) =="
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "${JOBS}" \
-    --target thread_pool_test kernels_test
+    --target thread_pool_test kernels_test serve_test
   HYGNN_NUM_THREADS=4 build-tsan/tests/thread_pool_test
   HYGNN_NUM_THREADS=4 build-tsan/tests/kernels_test
+  HYGNN_NUM_THREADS=4 build-tsan/tests/serve_test
 fi
 
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -1,7 +1,5 @@
 #include "baselines/pair_harness.h"
 
-#include <cmath>
-
 #include "core/logging.h"
 #include "tensor/loss.h"
 #include "tensor/ops.h"
@@ -10,7 +8,7 @@
 namespace hygnn::baselines {
 
 tensor::Tensor ConcatPairRows(const tensor::Tensor& embeddings,
-                              const std::vector<data::LabeledPair>& pairs) {
+                              std::span<const data::LabeledPair> pairs) {
   HYGNN_CHECK(!pairs.empty());
   std::vector<int32_t> left, right;
   left.reserve(pairs.size());
@@ -71,27 +69,21 @@ void PairModelHarness::Fit(const std::vector<data::LabeledPair>& train_pairs) {
 }
 
 std::vector<float> PairModelHarness::Score(
-    const std::vector<data::LabeledPair>& pairs) const {
+    std::span<const data::LabeledPair> pairs) const {
+  if (pairs.empty()) return {};
+  tensor::InferenceModeScope inference;
   tensor::Tensor embeddings =
       embed_fn_(/*training=*/false, nullptr);
   tensor::Tensor features = ConcatPairRows(embeddings, pairs);
   tensor::Tensor logits = head_.Forward(features);
-  std::vector<float> scores(static_cast<size_t>(logits.rows()));
-  for (int64_t i = 0; i < logits.rows(); ++i) {
-    const float z = logits.data()[i];
-    scores[static_cast<size_t>(i)] =
-        z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
-                  : std::exp(z) / (1.0f + std::exp(z));
-  }
-  return scores;
+  return model::SigmoidAll(logits);
 }
 
 model::EvalResult PairModelHarness::FitAndEvaluate(
     const std::vector<data::LabeledPair>& train_pairs,
     const std::vector<data::LabeledPair>& test_pairs) {
   Fit(train_pairs);
-  return model::EvaluateScores(Score(test_pairs),
-                               model::LabelsOf(test_pairs));
+  return model::EvaluateScorer(*this, test_pairs);
 }
 
 }  // namespace hygnn::baselines

@@ -2,10 +2,12 @@
 #define HYGNN_BASELINES_PAIR_HARNESS_H_
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "baselines/baselines.h"
 #include "core/rng.h"
+#include "hygnn/scorer.h"
 #include "nn/mlp.h"
 #include "tensor/tensor.h"
 
@@ -13,13 +15,15 @@ namespace hygnn::baselines {
 
 /// Gathers pair rows and concatenates: [n_pairs, 2 * dim].
 tensor::Tensor ConcatPairRows(const tensor::Tensor& embeddings,
-                              const std::vector<data::LabeledPair>& pairs);
+                              std::span<const data::LabeledPair> pairs);
 
 /// Shared trainer for every "node embeddings + MLP pair head" baseline.
 /// `embed_fn` recomputes the drug embedding matrix each epoch (so
 /// GNN parameters, if trainable, receive gradients); `embed_params`
 /// lists those trainable tensors (empty for frozen embeddings).
-class PairModelHarness {
+/// Implements model::Scorer, so baselines evaluate and benchmark
+/// through the same path as the HyGNN model and the serving engine.
+class PairModelHarness : public model::Scorer {
  public:
   PairModelHarness(std::function<tensor::Tensor(bool, core::Rng*)> embed_fn,
                    std::vector<tensor::Tensor> embed_params,
@@ -30,7 +34,8 @@ class PairModelHarness {
   void Fit(const std::vector<data::LabeledPair>& train_pairs);
 
   /// Sigmoid scores for `pairs` (inference mode).
-  std::vector<float> Score(const std::vector<data::LabeledPair>& pairs) const;
+  std::vector<float> Score(
+      std::span<const data::LabeledPair> pairs) const override;
 
   /// Fit + Score + metric computation in one call.
   model::EvalResult FitAndEvaluate(

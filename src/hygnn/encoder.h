@@ -93,6 +93,13 @@ class HypergraphEdgeEncoder : public nn::Module {
 
   const EncoderConfig& config() const { return config_; }
 
+  /// Weight accessors for inference paths that mirror the forward pass
+  /// outside autograd (serve::EmbeddingStore's incremental encoder).
+  const tensor::Tensor& w_q() const { return w_q_; }
+  const tensor::Tensor& g1() const { return g1_; }
+  const tensor::Tensor& w_p() const { return w_p_; }
+  const tensor::Tensor& g2() const { return g2_; }
+
  private:
   /// Shared body: `q_proj` is the projected edge feature W_q F^l.
   tensor::Tensor ForwardFromProjection(
@@ -124,6 +131,11 @@ class StackedEncoder : public nn::Module {
 
   int32_t num_layers() const {
     return static_cast<int32_t>(layers_.size());
+  }
+
+  /// Layer `i` of the stack, 0-based.
+  const HypergraphEdgeEncoder& layer(int32_t i) const {
+    return *layers_[static_cast<size_t>(i)];
   }
 
  private:

@@ -1,8 +1,7 @@
 #include "hygnn/model.h"
 
-#include <cmath>
-
 #include "core/logging.h"
+#include "hygnn/scorer.h"
 #include "tensor/ops.h"
 #include "tensor/serialize.h"
 
@@ -10,7 +9,8 @@ namespace hygnn::model {
 
 HyGnnModel::HyGnnModel(int64_t input_dim, const HyGnnConfig& config,
                        core::Rng* rng)
-    : config_(config),
+    : input_dim_(input_dim),
+      config_(config),
       encoder_(input_dim, config.encoder, config.num_layers, rng),
       decoder_(MakeDecoder(config.decoder, config.encoder.output_dim,
                            config.decoder_hidden_dim, rng,
@@ -49,16 +49,10 @@ tensor::Tensor HyGnnModel::Forward(const HypergraphContext& context,
 std::vector<float> HyGnnModel::PredictProbabilities(
     const HypergraphContext& context,
     const std::vector<data::LabeledPair>& pairs) const {
+  tensor::InferenceModeScope inference;
   tensor::Tensor logits =
       Forward(context, pairs, /*training=*/false, nullptr);
-  std::vector<float> probabilities(static_cast<size_t>(logits.rows()));
-  for (int64_t i = 0; i < logits.rows(); ++i) {
-    const float z = logits.data()[i];
-    probabilities[static_cast<size_t>(i)] =
-        z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
-                  : std::exp(z) / (1.0f + std::exp(z));
-  }
-  return probabilities;
+  return SigmoidAll(logits);
 }
 
 core::Status HyGnnModel::SaveWeights(const std::string& path) const {

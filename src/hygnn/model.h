@@ -12,6 +12,10 @@
 #include "hygnn/encoder.h"
 #include "nn/module.h"
 
+namespace hygnn::chem {
+class SubstructureVocabulary;
+}  // namespace hygnn::chem
+
 namespace hygnn::model {
 
 /// Full HyGNN configuration (paper §IV-C: single-layer encoder with two
@@ -57,18 +61,42 @@ class HyGnnModel : public nn::Module {
 
   std::vector<tensor::Tensor> Parameters() const override;
 
-  /// Checkpoints all trainable weights to a binary file.
+  /// Writes a self-describing serve::ModelBundle (config + vocabulary +
+  /// weights) that Load can restore with no caller-supplied
+  /// configuration. Implemented in src/serve/bundle.cc — callers must
+  /// link hygnn_serve.
+  core::Status Save(const std::string& path,
+                    const chem::SubstructureVocabulary& vocabulary) const;
+
+  /// Rebuilds a model from a Save file. When `vocabulary` is non-null
+  /// it receives the bundled substructure vocabulary (needed to
+  /// featurize new SMILES against the model). Implemented in
+  /// src/serve/bundle.cc — callers must link hygnn_serve.
+  static core::Result<HyGnnModel> Load(
+      const std::string& path,
+      chem::SubstructureVocabulary* vocabulary = nullptr);
+
+  /// DEPRECATED: weights-only checkpoint with no config or vocabulary —
+  /// the loader must already hold an identically-configured model.
+  /// Prefer Save, which writes a self-describing bundle. Kept as a thin
+  /// shim over the same tensor-table format.
   core::Status SaveWeights(const std::string& path) const;
 
-  /// Restores weights from a SaveWeights file into this model. The
-  /// model must have been constructed with the same configuration and
-  /// input dimension.
+  /// DEPRECATED: restores a SaveWeights file into this
+  /// already-constructed model; fails with a Status naming both shapes
+  /// on any mismatch. Prefer the static Load, which also restores the
+  /// configuration.
   core::Status LoadWeights(const std::string& path);
 
   const HyGnnConfig& config() const { return config_; }
   const StackedEncoder& encoder() const { return encoder_; }
+  const Decoder& decoder() const { return *decoder_; }
+  /// Encoder input width the model was constructed with (= substructure
+  /// vocabulary size when features are H^T).
+  int64_t input_dim() const { return input_dim_; }
 
  private:
+  int64_t input_dim_;
   HyGnnConfig config_;
   StackedEncoder encoder_;
   std::unique_ptr<Decoder> decoder_;

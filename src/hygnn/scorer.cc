@@ -1,0 +1,52 @@
+#include "hygnn/scorer.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace hygnn::model {
+
+float StableSigmoid(float z) {
+  return z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
+                   : std::exp(z) / (1.0f + std::exp(z));
+}
+
+std::vector<float> SigmoidAll(const tensor::Tensor& logits) {
+  HYGNN_CHECK(logits.defined());
+  HYGNN_CHECK_EQ(logits.cols(), 1);
+  std::vector<float> probabilities(static_cast<size_t>(logits.rows()));
+  for (int64_t i = 0; i < logits.rows(); ++i) {
+    probabilities[static_cast<size_t>(i)] = StableSigmoid(logits.data()[i]);
+  }
+  return probabilities;
+}
+
+ContextScorer::ContextScorer(const HyGnnModel* model,
+                             const HypergraphContext* context)
+    : model_(model), context_(context) {
+  HYGNN_CHECK(model != nullptr);
+  HYGNN_CHECK(context != nullptr);
+}
+
+std::vector<float> ContextScorer::Score(
+    std::span<const data::LabeledPair> pairs) const {
+  if (pairs.empty()) return {};
+  tensor::InferenceModeScope inference;
+  tensor::Tensor embeddings =
+      model_->EmbedDrugs(*context_, /*training=*/false, nullptr);
+  const std::vector<data::LabeledPair> batch(pairs.begin(), pairs.end());
+  tensor::Tensor logits =
+      model_->ScorePairs(embeddings, batch, /*training=*/false, nullptr);
+  return SigmoidAll(logits);
+}
+
+metrics::BinaryEval EvaluateScorer(
+    const Scorer& scorer, const std::vector<data::LabeledPair>& pairs) {
+  HYGNN_CHECK_EQ(scorer.score_width(), 1);
+  std::vector<float> labels;
+  labels.reserve(pairs.size());
+  for (const auto& pair : pairs) labels.push_back(pair.label);
+  return metrics::EvaluateBinary(scorer.Score(pairs), labels);
+}
+
+}  // namespace hygnn::model

@@ -15,11 +15,7 @@ namespace hygnn::model {
 
 EvalResult EvaluateScores(const std::vector<float>& scores,
                           const std::vector<float>& labels) {
-  EvalResult result;
-  result.f1 = metrics::F1Score(scores, labels);
-  result.roc_auc = metrics::RocAuc(scores, labels);
-  result.pr_auc = metrics::PrAuc(scores, labels);
-  return result;
+  return metrics::EvaluateBinary(scores, labels);
 }
 
 std::vector<float> LabelsOf(const std::vector<data::LabeledPair>& pairs) {

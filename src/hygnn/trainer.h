@@ -45,14 +45,14 @@ struct TrainConfig {
   int32_t threads = 0;
 };
 
-/// F1 / ROC-AUC / PR-AUC triple — the paper's reporting columns.
-struct EvalResult {
-  double f1 = 0.0;
-  double roc_auc = 0.0;
-  double pr_auc = 0.0;
-};
+/// F1 / ROC-AUC / PR-AUC triple — the paper's reporting columns. The
+/// definition lives in metrics::BinaryEval so every scoring path
+/// (trainer, baselines, serving) reports through the same computation.
+using EvalResult = metrics::BinaryEval;
 
 /// Computes the paper's three metrics from scores and labels.
+/// Equivalent to metrics::EvaluateBinary; kept for callers written
+/// against the trainer API.
 EvalResult EvaluateScores(const std::vector<float>& scores,
                           const std::vector<float>& labels);
 

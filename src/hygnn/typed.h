@@ -8,6 +8,7 @@
 #include "core/rng.h"
 #include "data/drug.h"
 #include "hygnn/encoder.h"
+#include "metrics/metrics.h"
 #include "nn/mlp.h"
 #include "nn/module.h"
 
@@ -60,11 +61,10 @@ struct TypedTrainConfig {
   uint64_t seed = 7;
 };
 
-/// Multi-class evaluation: accuracy and macro-averaged F1.
-struct TypedEvalResult {
-  double accuracy = 0.0;
-  double macro_f1 = 0.0;
-};
+/// Multi-class evaluation: accuracy and macro-averaged F1. Defined in
+/// metrics so the computation is shared with any other multi-class
+/// consumer.
+using TypedEvalResult = metrics::MultiClassEval;
 
 /// Trains with softmax cross-entropy and evaluates typed predictions.
 class TypedTrainer {

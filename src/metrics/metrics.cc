@@ -202,6 +202,55 @@ ThresholdF1 BestF1Threshold(const std::vector<float>& scores,
   return best;
 }
 
+BinaryEval EvaluateBinary(const std::vector<float>& scores,
+                          const std::vector<float>& labels) {
+  BinaryEval result;
+  result.f1 = F1Score(scores, labels);
+  result.roc_auc = RocAuc(scores, labels);
+  result.pr_auc = PrAuc(scores, labels);
+  return result;
+}
+
+MultiClassEval EvaluateMultiClass(const std::vector<int32_t>& predicted,
+                                  const std::vector<int32_t>& actual,
+                                  int32_t num_classes) {
+  HYGNN_CHECK_EQ(predicted.size(), actual.size());
+  HYGNN_CHECK(!predicted.empty());
+  MultiClassEval result;
+  int64_t correct = 0;
+  std::vector<int64_t> tp(num_classes, 0), fp(num_classes, 0),
+      fn(num_classes, 0);
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == actual[i]) {
+      ++correct;
+      ++tp[static_cast<size_t>(actual[i])];
+    } else {
+      ++fp[static_cast<size_t>(predicted[i])];
+      ++fn[static_cast<size_t>(actual[i])];
+    }
+  }
+  result.accuracy =
+      static_cast<double>(correct) / static_cast<double>(predicted.size());
+  double f1_sum = 0.0;
+  int32_t active_classes = 0;
+  for (int32_t c = 0; c < num_classes; ++c) {
+    const int64_t support = tp[c] + fn[c];
+    const int64_t predicted_count = tp[c] + fp[c];
+    if (support == 0 && predicted_count == 0) continue;
+    ++active_classes;
+    if (tp[c] == 0) continue;
+    const double precision = static_cast<double>(tp[c]) /
+                             static_cast<double>(predicted_count);
+    const double recall =
+        static_cast<double>(tp[c]) / static_cast<double>(support);
+    f1_sum += 2.0 * precision * recall / (precision + recall);
+  }
+  if (active_classes > 0) {
+    result.macro_f1 = f1_sum / active_classes;
+  }
+  return result;
+}
+
 Aggregate AggregateOf(const std::vector<double>& values) {
   Aggregate agg;
   if (values.empty()) return agg;

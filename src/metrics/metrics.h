@@ -59,6 +59,32 @@ struct ThresholdF1 {
 ThresholdF1 BestF1Threshold(const std::vector<float>& scores,
                             const std::vector<float>& labels);
 
+/// F1 / ROC-AUC / PR-AUC triple — the paper's binary reporting columns.
+/// Shared by the trainer, the baseline harness, and the serving scorers
+/// so every evaluation path thresholds and aggregates identically.
+struct BinaryEval {
+  double f1 = 0.0;
+  double roc_auc = 0.0;
+  double pr_auc = 0.0;
+};
+
+/// Computes the paper's three binary metrics from scores and labels.
+BinaryEval EvaluateBinary(const std::vector<float>& scores,
+                          const std::vector<float>& labels);
+
+/// Multi-class evaluation: accuracy and macro-averaged F1 over the
+/// classes that actually occur (true or predicted).
+struct MultiClassEval {
+  double accuracy = 0.0;
+  double macro_f1 = 0.0;
+};
+
+/// Computes accuracy and macro-F1 of predicted vs actual class ids in
+/// [0, num_classes).
+MultiClassEval EvaluateMultiClass(const std::vector<int32_t>& predicted,
+                                  const std::vector<int32_t>& actual,
+                                  int32_t num_classes);
+
 /// Mean and (population) standard deviation over repeated runs.
 struct Aggregate {
   double mean = 0.0;

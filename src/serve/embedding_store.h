@@ -1,0 +1,98 @@
+#ifndef HYGNN_SERVE_EMBEDDING_STORE_H_
+#define HYGNN_SERVE_EMBEDDING_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "data/featurize.h"
+#include "hygnn/encoder.h"
+#include "hygnn/model.h"
+
+namespace hygnn::serve {
+
+/// Cache of drug (hyperedge) embeddings for serving. The paper's
+/// architecture encodes each drug once and decodes per pair; this store
+/// is the "encode once" half: Rebuild runs the encoder a single time
+/// over the whole catalog (under tensor::InferenceModeScope, so no
+/// autograd graph is retained) into a flat row-major buffer, and every
+/// subsequent pair score is a cheap decoder pass over cached rows.
+///
+/// Cold-start drugs join the catalog through AddDrug, which extends the
+/// cache *incrementally*: it mirrors the single-layer encoder's kernel
+/// sequence over just the new hyperedge and the nodes it touches, so
+/// the appended row is bit-identical to a full re-encode of the
+/// extended hypergraph — without paying for one. Rows already in the
+/// cache intentionally keep their snapshot values (adding a catalog
+/// entry must not silently shift existing scores); call Rebuild to fold
+/// new drugs into every row.
+///
+/// The buffer grows by copy-on-grow, so pointers returned by Row() are
+/// invalidated by AddDrug and Rebuild. Each Rebuild bumps generation();
+/// Invalidate marks the cache stale (call it after reloading model
+/// weights) and every read path refuses to serve until the next
+/// Rebuild.
+class EmbeddingStore {
+ public:
+  /// `model` must outlive the store. The store starts invalid; call
+  /// Rebuild before reading.
+  explicit EmbeddingStore(const model::HyGnnModel* model);
+
+  /// Encodes every drug in `context` and replaces the cache. Also
+  /// snapshots the encoder intermediates AddDrug needs (single-layer
+  /// models; deeper stacks can Rebuild and Score but not AddDrug).
+  core::Status Rebuild(const model::HypergraphContext& context);
+
+  /// Appends one drug given its substructure node ids (duplicates and
+  /// ordering don't matter; ids must be within the encoder input
+  /// vocabulary). Returns the new drug's id. Requires a valid store
+  /// backed by a single-layer encoder.
+  core::Result<int32_t> AddDrug(const std::vector<int32_t>& substructures);
+
+  /// ESPF-segments `smiles` against the featurizer's fixed vocabulary,
+  /// then AddDrug on the resulting ids. The featurizer's vocabulary
+  /// must match the model input dimension.
+  core::Result<int32_t> AddDrugSmiles(
+      const data::SubstructureFeaturizer& featurizer,
+      const std::string& smiles);
+
+  /// Marks the cache stale without touching its contents. Read paths
+  /// fail until the next Rebuild.
+  void Invalidate() { valid_ = false; }
+
+  bool valid() const { return valid_; }
+
+  /// Incremented on every successful Rebuild. Lets consumers holding
+  /// derived state (top-K lists, score caches) detect that embeddings
+  /// changed underneath them.
+  uint64_t generation() const { return generation_; }
+
+  int32_t num_drugs() const { return num_drugs_; }
+  int64_t dim() const { return dim_; }
+
+  /// Embedding row of `drug`; valid until the next AddDrug/Rebuild.
+  const float* Row(int32_t drug) const;
+
+ private:
+  const model::HyGnnModel* model_;
+  bool valid_ = false;
+  uint64_t generation_ = 0;
+  int32_t num_drugs_ = 0;
+  int32_t num_nodes_ = 0;
+  int64_t dim_ = 0;
+  /// [num_drugs, dim] row-major drug embeddings.
+  std::vector<float> embeddings_;
+  /// Single-layer encoder intermediates for incremental AddDrug:
+  /// projected edge features W_q F [num_drugs, hidden], the hyperedge
+  /// attention score g1 . LeakyReLU(W_q q_j) per drug, and each node's
+  /// incident drugs in ascending id order (the exact order the segment
+  /// kernels visit incidence rows in).
+  std::vector<float> q_proj_;
+  std::vector<float> edge_scores_;
+  std::vector<std::vector<int32_t>> incident_;
+};
+
+}  // namespace hygnn::serve
+
+#endif  // HYGNN_SERVE_EMBEDDING_STORE_H_

@@ -1,0 +1,94 @@
+#include "serve/scoring.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/logging.h"
+#include "core/thread_pool.h"
+#include "tensor/debug.h"
+
+namespace hygnn::serve {
+
+PairScorer::PairScorer(const model::HyGnnModel* model,
+                       const EmbeddingStore* store)
+    : model_(model), store_(store) {
+  HYGNN_CHECK(model != nullptr);
+  HYGNN_CHECK(store != nullptr);
+}
+
+std::vector<float> PairScorer::Score(
+    std::span<const data::LabeledPair> pairs) const {
+  HYGNN_CHECK(store_->valid())
+      << "embedding store is stale; Rebuild before scoring";
+  const int64_t n = static_cast<int64_t>(pairs.size());
+  std::vector<float> scores(static_cast<size_t>(n));
+  if (n == 0) return scores;
+  const int64_t dim = store_->dim();
+  const int32_t num_drugs = store_->num_drugs();
+  for (const auto& pair : pairs) {
+    HYGNN_CHECK(pair.a >= 0 && pair.a < num_drugs &&
+                pair.b >= 0 && pair.b < num_drugs)
+        << "pair (" << pair.a << ", " << pair.b << ") outside catalog of "
+        << num_drugs << " drugs";
+  }
+  tensor::InferenceModeScope inference;
+  // Fixed-size chunks: the partition never depends on the thread count,
+  // and the decoder treats each pair row independently, so chunked
+  // scores match the one-shot batch bit-for-bit. Nested ParallelFor
+  // calls inside the decoder kernels run inline on the worker.
+  core::ParallelFor(0, n, kScoreChunkPairs, [&](int64_t lo, int64_t hi) {
+    const int64_t m = hi - lo;
+    tensor::Tensor q_a = tensor::Tensor::Zeros(m, dim);
+    tensor::Tensor q_b = tensor::Tensor::Zeros(m, dim);
+    for (int64_t i = 0; i < m; ++i) {
+      const auto& pair = pairs[static_cast<size_t>(lo + i)];
+      std::memcpy(q_a.data() + i * dim, store_->Row(pair.a),
+                  static_cast<size_t>(dim) * sizeof(float));
+      std::memcpy(q_b.data() + i * dim, store_->Row(pair.b),
+                  static_cast<size_t>(dim) * sizeof(float));
+    }
+    const tensor::Tensor logits =
+        model_->decoder().Score(q_a, q_b, /*training=*/false, nullptr);
+    // Serving contract: inference mode must keep the autograd graph
+    // empty — the logits are a parentless leaf.
+    HYGNN_DCHECK_EQ(tensor::GraphLint(logits).nodes_visited, 1)
+        << "serving path allocated autograd graph nodes";
+    for (int64_t i = 0; i < m; ++i) {
+      scores[static_cast<size_t>(lo + i)] =
+          model::StableSigmoid(logits.data()[i]);
+    }
+  });
+  return scores;
+}
+
+ScreeningEngine::ScreeningEngine(const model::HyGnnModel* model,
+                                 const EmbeddingStore* store)
+    : store_(store), scorer_(model, store) {}
+
+std::vector<ScreeningHit> ScreeningEngine::TopK(int32_t query,
+                                                int32_t k) const {
+  HYGNN_CHECK(query >= 0 && query < store_->num_drugs());
+  std::vector<data::LabeledPair> pairs;
+  pairs.reserve(static_cast<size_t>(store_->num_drugs()));
+  for (int32_t drug = 0; drug < store_->num_drugs(); ++drug) {
+    if (drug == query) continue;
+    pairs.push_back({query, drug, 0.0f});
+  }
+  const std::vector<float> scores = scorer_.Score(pairs);
+  std::vector<ScreeningHit> hits(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    hits[i] = {pairs[i].b, scores[i]};
+  }
+  const size_t keep = std::min(hits.size(), static_cast<size_t>(
+                                                std::max(k, 0)));
+  std::partial_sort(hits.begin(),
+                    hits.begin() + static_cast<ptrdiff_t>(keep), hits.end(),
+                    [](const ScreeningHit& a, const ScreeningHit& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.drug < b.drug;
+                    });
+  hits.resize(keep);
+  return hits;
+}
+
+}  // namespace hygnn::serve

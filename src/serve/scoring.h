@@ -1,0 +1,70 @@
+#ifndef HYGNN_SERVE_SCORING_H_
+#define HYGNN_SERVE_SCORING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/drug.h"
+#include "hygnn/model.h"
+#include "hygnn/scorer.h"
+#include "serve/embedding_store.h"
+
+namespace hygnn::serve {
+
+/// Pairs per core::ParallelFor chunk in PairScorer. A fixed constant —
+/// never derived from the thread count — so the batch partition (and
+/// therefore every float) is identical at any thread count.
+inline constexpr int64_t kScoreChunkPairs = 256;
+
+/// Batched pair scoring against cached embeddings: gathers each pair's
+/// rows from the EmbeddingStore and runs only the decoder, skipping the
+/// encoder entirely. Chunks are distributed over core::ParallelFor;
+/// because the decoder is row-independent and the store rows are exact
+/// copies of the encoder output, scores are bit-identical to the cold
+/// HyGnnModel::PredictProbabilities path at any thread count.
+///
+/// Runs under tensor::InferenceModeScope; a debug assertion verifies
+/// that no autograd graph nodes are allocated on the serving path.
+/// Model and store must outlive the scorer; the store must be valid()
+/// (Rebuild after any weight reload).
+class PairScorer : public model::Scorer {
+ public:
+  PairScorer(const model::HyGnnModel* model, const EmbeddingStore* store);
+
+  std::vector<float> Score(
+      std::span<const data::LabeledPair> pairs) const override;
+
+ private:
+  const model::HyGnnModel* model_;
+  const EmbeddingStore* store_;
+};
+
+/// One screening result: a catalog drug and its interaction probability
+/// with the query.
+struct ScreeningHit {
+  int32_t drug = 0;
+  float score = 0.0f;
+};
+
+/// Screens one drug against the whole cached catalog and returns the
+/// top-K candidates, ordered by descending score with ties broken by
+/// ascending drug id — a total order, so results are deterministic.
+class ScreeningEngine {
+ public:
+  ScreeningEngine(const model::HyGnnModel* model,
+                  const EmbeddingStore* store);
+
+  /// Top `k` interaction candidates for `query` among all other drugs
+  /// in the store (the query itself is excluded). Returns fewer than
+  /// `k` hits when the catalog is smaller.
+  std::vector<ScreeningHit> TopK(int32_t query, int32_t k) const;
+
+ private:
+  const EmbeddingStore* store_;
+  PairScorer scorer_;
+};
+
+}  // namespace hygnn::serve
+
+#endif  // HYGNN_SERVE_SCORING_H_

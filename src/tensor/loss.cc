@@ -25,7 +25,7 @@ Tensor BceWithLogitsLoss(const Tensor& logits,
   out->rows = 1;
   out->cols = 1;
   out->data.assign(1, 0.0f);
-  out->requires_grad = zi->requires_grad;
+  out->requires_grad = zi->requires_grad && !InferenceModeEnabled();
   if (out->requires_grad) out->parents = {zi};
 
   double acc = 0.0;
@@ -104,7 +104,7 @@ Tensor SoftmaxCrossEntropyLoss(const Tensor& logits,
   out->rows = 1;
   out->cols = 1;
   out->data.assign(1, 0.0f);
-  out->requires_grad = zi->requires_grad;
+  out->requires_grad = zi->requires_grad && !InferenceModeEnabled();
   if (out->requires_grad) out->parents = {zi};
 
   // Cache the softmax for the backward pass.

@@ -19,7 +19,8 @@ namespace {
 
 /// Allocates the output node for a unary/binary op and wires parents.
 /// `op` must be a static string; it labels the node for NumericsGuard /
-/// GraphLint reports.
+/// GraphLint reports. Under an InferenceModeScope the result is always
+/// detached: no parents, no backward_fn, requires_grad off.
 std::shared_ptr<TensorImpl> MakeOutput(
     const char* op, int64_t rows, int64_t cols,
     std::vector<std::shared_ptr<TensorImpl>> parents) {
@@ -28,9 +29,12 @@ std::shared_ptr<TensorImpl> MakeOutput(
   out->rows = rows;
   out->cols = cols;
   out->data.assign(static_cast<size_t>(rows * cols), 0.0f);
-  out->requires_grad = std::any_of(
-      parents.begin(), parents.end(),
-      [](const std::shared_ptr<TensorImpl>& p) { return p->requires_grad; });
+  out->requires_grad =
+      !InferenceModeEnabled() &&
+      std::any_of(parents.begin(), parents.end(),
+                  [](const std::shared_ptr<TensorImpl>& p) {
+                    return p->requires_grad;
+                  });
   if (out->requires_grad) out->parents = std::move(parents);
   return out;
 }

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <istream>
+#include <ostream>
 
 namespace hygnn::tensor {
 
@@ -15,23 +17,25 @@ constexpr char kMagic[4] = {'H', 'Y', 'G', 'T'};
 constexpr uint32_t kVersion = 1;
 
 template <typename T>
-void WritePod(std::ofstream& out, const T& value) {
+void WritePod(std::ostream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
 template <typename T>
-bool ReadPod(std::ifstream& in, T* value) {
+bool ReadPod(std::istream& in, T* value) {
   in.read(reinterpret_cast<char*>(value), sizeof(T));
   return static_cast<bool>(in);
 }
 
+std::string ShapeString(int64_t rows, int64_t cols) {
+  return "[" + std::to_string(rows) + " x " + std::to_string(cols) + "]";
+}
+
 }  // namespace
 
-Status SaveTensors(
+Status SaveTensorsToStream(
     const std::vector<std::pair<std::string, Tensor>>& named_tensors,
-    const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open for write: " + path);
+    std::ostream& out) {
   out.write(kMagic, sizeof(kMagic));
   WritePod(out, kVersion);
   WritePod(out, static_cast<uint64_t>(named_tensors.size()));
@@ -46,22 +50,22 @@ Status SaveTensors(
     out.write(reinterpret_cast<const char*>(tensor.data()),
               static_cast<std::streamsize>(tensor.size() * sizeof(float)));
   }
-  if (!out) return Status::IoError("write failed: " + path);
+  if (!out) return Status::IoError("tensor table write failed");
   return Status::Ok();
 }
 
-Result<std::vector<std::pair<std::string, Tensor>>> LoadTensors(
-    const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for read: " + path);
+Result<std::vector<std::pair<std::string, Tensor>>> LoadTensorsFromStream(
+    std::istream& in) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::IoError("not a HyGNN tensor file: " + path);
+    return Status::IoError("not a HyGNN tensor table");
   }
   uint32_t version = 0;
   if (!ReadPod(in, &version) || version != kVersion) {
-    return Status::IoError("unsupported tensor file version");
+    return Status::IoError("unsupported tensor table version " +
+                           std::to_string(version) + " (reader supports " +
+                           std::to_string(kVersion) + ")");
   }
   uint64_t count = 0;
   if (!ReadPod(in, &count)) return Status::IoError("truncated header");
@@ -89,6 +93,29 @@ Result<std::vector<std::pair<std::string, Tensor>>> LoadTensors(
   return result;
 }
 
+Status SaveTensors(
+    const std::vector<std::pair<std::string, Tensor>>& named_tensors,
+    const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  if (auto status = SaveTensorsToStream(named_tensors, out); !status.ok()) {
+    return Status(status.code(), status.message() + ": " + path);
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::pair<std::string, Tensor>>> LoadTensors(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  auto loaded = LoadTensorsFromStream(in);
+  if (!loaded.ok()) {
+    return Status(loaded.status().code(),
+                  loaded.status().message() + ": " + path);
+  }
+  return loaded;
+}
+
 Status RestoreParameters(
     const std::vector<std::pair<std::string, Tensor>>& loaded,
     std::vector<Tensor>* parameters) {
@@ -105,8 +132,10 @@ Status RestoreParameters(
     const Tensor& src = loaded[i].second;
     Tensor& dst = (*parameters)[i];
     if (src.rows() != dst.rows() || src.cols() != dst.cols()) {
-      return Status::InvalidArgument("shape mismatch at " +
-                                     loaded[i].first);
+      return Status::InvalidArgument(
+          "shape mismatch at " + loaded[i].first + ": file has " +
+          ShapeString(src.rows(), src.cols()) + ", model expects " +
+          ShapeString(dst.rows(), dst.cols()));
     }
     std::memcpy(dst.data(), src.data(),
                 static_cast<size_t>(src.size()) * sizeof(float));

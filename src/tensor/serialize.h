@@ -1,6 +1,7 @@
 #ifndef HYGNN_TENSOR_SERIALIZE_H_
 #define HYGNN_TENSOR_SERIALIZE_H_
 
+#include <iosfwd>
 #include <string>
 #include <utility>
 #include <vector>
@@ -21,8 +22,23 @@ core::Status SaveTensors(
 core::Result<std::vector<std::pair<std::string, Tensor>>> LoadTensors(
     const std::string& path);
 
+/// Stream form of SaveTensors: writes the same magic + version +
+/// tensor-table section into `out` at the current position, so the
+/// table can be embedded inside a larger container (serve::ModelBundle
+/// embeds one after its config and vocabulary sections).
+core::Status SaveTensorsToStream(
+    const std::vector<std::pair<std::string, Tensor>>& named_tensors,
+    std::ostream& out);
+
+/// Stream form of LoadTensors: reads one tensor-table section starting
+/// at the current position of `in` and leaves the stream positioned
+/// just past it.
+core::Result<std::vector<std::pair<std::string, Tensor>>>
+LoadTensorsFromStream(std::istream& in);
+
 /// Copies loaded values into existing parameters by position; fails on
-/// count or shape mismatch. Gradients and optimizer state are untouched.
+/// count or shape mismatch with a message naming both sides. Gradients
+/// and optimizer state are untouched.
 core::Status RestoreParameters(
     const std::vector<std::pair<std::string, Tensor>>& loaded,
     std::vector<Tensor>* parameters);

@@ -77,7 +77,7 @@ Tensor SpMM(const std::shared_ptr<const CsrMatrix>& a, const Tensor& x) {
   out->rows = n;
   out->cols = d;
   out->data.assign(static_cast<size_t>(n * d), 0.0f);
-  out->requires_grad = xi->requires_grad;
+  out->requires_grad = xi->requires_grad && !InferenceModeEnabled();
   a->MultiplyInto(xi->data.data(), d, out->data.data());
   if (out->requires_grad) {
     out->parents = {xi};

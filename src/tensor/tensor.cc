@@ -1,10 +1,34 @@
 #include "tensor/tensor.h"
 
+#include <atomic>
 #include <unordered_set>
 
 #include "core/logging.h"
 
 namespace hygnn::tensor {
+
+namespace {
+
+/// Nesting depth of live InferenceModeScope instances. Relaxed atomics
+/// suffice: the scope is created/destroyed on the coordinating thread
+/// before/after any ParallelFor fan-out that reads it.
+std::atomic<int32_t> inference_depth{0};
+
+}  // namespace
+
+InferenceModeScope::InferenceModeScope() {
+  inference_depth.fetch_add(1, std::memory_order_relaxed);
+}
+
+InferenceModeScope::~InferenceModeScope() {
+  const int32_t previous =
+      inference_depth.fetch_sub(1, std::memory_order_relaxed);
+  HYGNN_DCHECK_GT(previous, 0) << "unbalanced InferenceModeScope";
+}
+
+bool InferenceModeEnabled() {
+  return inference_depth.load(std::memory_order_relaxed) > 0;
+}
 
 Tensor Tensor::Zeros(int64_t rows, int64_t cols, bool requires_grad) {
   return Full(rows, cols, 0.0f, requires_grad);

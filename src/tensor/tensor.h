@@ -43,6 +43,32 @@ struct TensorImpl {
   }
 };
 
+/// RAII guard that switches the whole tensor engine into inference
+/// mode while alive: every operator executed inside the scope produces
+/// a detached result — requires_grad is forced off, no parents are
+/// recorded, and no backward_fn closure is allocated — regardless of
+/// whether the inputs are trainable parameters. Serving paths wrap
+/// their forward passes in this scope so scoring millions of pairs
+/// allocates zero autograd graph nodes (verified with GraphLint in the
+/// serve tests).
+///
+/// Scopes nest; the engine leaves inference mode when the outermost
+/// scope is destroyed. The flag is process-global (not thread-local)
+/// so kernel worker threads spawned by core::ParallelFor inherit it;
+/// do not run training concurrently with an active inference scope —
+/// the same restriction the global thread pool already imposes.
+class InferenceModeScope {
+ public:
+  InferenceModeScope();
+  ~InferenceModeScope();
+
+  InferenceModeScope(const InferenceModeScope&) = delete;
+  InferenceModeScope& operator=(const InferenceModeScope&) = delete;
+};
+
+/// True while at least one InferenceModeScope is alive.
+bool InferenceModeEnabled();
+
 /// A dense row-major 2-D float tensor with reverse-mode autograd.
 ///
 /// Tensor is a cheap shared handle: copying a Tensor aliases the same

@@ -1,0 +1,338 @@
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/thread_pool.h"
+#include "data/featurize.h"
+#include "data/generator.h"
+#include "graph/builders.h"
+#include "hygnn/model.h"
+#include "serve/bundle.h"
+#include "serve/embedding_store.h"
+#include "serve/scoring.h"
+
+namespace hygnn::serve {
+namespace {
+
+/// Shared miniature corpus: generate -> featurize -> hypergraph. The
+/// last drug is held out of the serving catalog so AddDrug can join it
+/// cold.
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::DatasetConfig data_config;
+    data_config.num_drugs = 60;
+    data_config.seed = 707;
+    dataset_ =
+        new data::DdiDataset(data::GenerateDataset(data_config).value());
+    data::FeaturizeConfig feat_config;
+    feat_config.espf_frequency_threshold = 3;
+    featurizer_ = new data::SubstructureFeaturizer(
+        data::SubstructureFeaturizer::Build(dataset_->drugs(), feat_config)
+            .value());
+    catalog_members_ = new std::vector<std::vector<int32_t>>(
+        featurizer_->drug_substructures().begin(),
+        featurizer_->drug_substructures().end() - 1);
+    auto hypergraph = graph::BuildDrugHypergraph(
+        *catalog_members_, featurizer_->num_substructures());
+    context_ = new model::HypergraphContext(
+        model::HypergraphContext::FromHypergraph(hypergraph));
+  }
+
+  static void TearDownTestSuite() {
+    delete context_;
+    delete catalog_members_;
+    delete featurizer_;
+    delete dataset_;
+  }
+
+  static model::HyGnnModel MakeModel(uint64_t seed = 11,
+                                     int32_t num_layers = 1) {
+    core::Rng rng(seed);
+    model::HyGnnConfig config;
+    config.encoder.hidden_dim = 16;
+    config.encoder.output_dim = 12;
+    config.num_layers = num_layers;
+    config.decoder_hidden_dim = 10;
+    return model::HyGnnModel(featurizer_->num_substructures(), config,
+                             &rng);
+  }
+
+  static std::vector<data::LabeledPair> SomePairs() {
+    std::vector<data::LabeledPair> pairs;
+    const int32_t n = context_->num_edges;
+    for (int32_t i = 0; i + 1 < n; i += 3) {
+      pairs.push_back({i, (i * 7 + 1) % n, 1.0f});
+    }
+    return pairs;
+  }
+
+  static std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/" + name;
+  }
+
+  static data::DdiDataset* dataset_;
+  static data::SubstructureFeaturizer* featurizer_;
+  static std::vector<std::vector<int32_t>>* catalog_members_;
+  static model::HypergraphContext* context_;
+};
+
+data::DdiDataset* ServeTest::dataset_ = nullptr;
+data::SubstructureFeaturizer* ServeTest::featurizer_ = nullptr;
+std::vector<std::vector<int32_t>>* ServeTest::catalog_members_ = nullptr;
+model::HypergraphContext* ServeTest::context_ = nullptr;
+
+TEST_F(ServeTest, BundleRoundTripScoresBitIdentical) {
+  const auto model = MakeModel();
+  const std::string path = TempPath("roundtrip.hygb");
+  ASSERT_TRUE(model.Save(path, featurizer_->vocabulary()).ok());
+
+  chem::SubstructureVocabulary vocabulary;
+  auto loaded = model::HyGnnModel::Load(path, &vocabulary);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(vocabulary.size(), featurizer_->vocabulary().size());
+  EXPECT_EQ(loaded.value().input_dim(), model.input_dim());
+  EXPECT_EQ(loaded.value().config().encoder.hidden_dim,
+            model.config().encoder.hidden_dim);
+
+  const auto pairs = SomePairs();
+  const auto expected = model.PredictProbabilities(*context_, pairs);
+  const auto actual = loaded.value().PredictProbabilities(*context_, pairs);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i], actual[i]) << "pair " << i;
+  }
+}
+
+TEST_F(ServeTest, BundleLoadNeedsNoCallerConfig) {
+  const auto model = MakeModel(/*seed=*/29);
+  const std::string path = TempPath("selfdesc.hygb");
+  ASSERT_TRUE(model.Save(path, featurizer_->vocabulary()).ok());
+  auto bundle = ModelBundle::Load(path);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  EXPECT_EQ(bundle.value().input_dim, featurizer_->num_substructures());
+  EXPECT_EQ(bundle.value().weights.size(), model.Parameters().size());
+  EXPECT_EQ(bundle.value().weights[0].first, "encoder.layer0.w_q");
+  auto rebuilt = bundle.value().BuildModel();
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+}
+
+TEST_F(ServeTest, LoadRejectsBadMagic) {
+  const std::string path = TempPath("badmagic.hygb");
+  std::ofstream(path, std::ios::binary) << "NOPE this is not a bundle";
+  auto loaded = ModelBundle::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("not a HyGNN model bundle"),
+            std::string::npos);
+}
+
+TEST_F(ServeTest, LoadRejectsVersionSkewNamingBothVersions) {
+  const auto model = MakeModel();
+  const std::string path = TempPath("skew.hygb");
+  ASSERT_TRUE(model.Save(path, featurizer_->vocabulary()).ok());
+  // Patch the u32 version field right after the 4-byte magic.
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  file.seekp(4);
+  const uint32_t bogus = 99;
+  file.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  file.close();
+  auto loaded = ModelBundle::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), core::StatusCode::kFailedPrecondition);
+  EXPECT_NE(loaded.status().message().find("99"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find(std::to_string(kBundleVersion)),
+            std::string::npos);
+}
+
+TEST_F(ServeTest, LoadRejectsTruncation) {
+  const auto model = MakeModel();
+  const std::string path = TempPath("whole.hygb");
+  ASSERT_TRUE(model.Save(path, featurizer_->vocabulary()).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  // Cut the file at several depths; every prefix must be rejected.
+  for (const double fraction : {0.1, 0.5, 0.9}) {
+    const std::string cut_path = TempPath("truncated.hygb");
+    std::ofstream out(cut_path, std::ios::binary);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() * fraction));
+    out.close();
+    auto loaded = ModelBundle::Load(cut_path);
+    EXPECT_FALSE(loaded.ok()) << "prefix fraction " << fraction;
+  }
+}
+
+TEST_F(ServeTest, SaveRejectsVocabularyModelMismatch) {
+  const auto model = MakeModel();
+  chem::SubstructureVocabulary tiny;
+  tiny.AddOrGet("C");
+  auto status = model.Save(TempPath("mismatch.hygb"), tiny);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("1"), std::string::npos);
+  EXPECT_NE(status.message().find(
+                std::to_string(featurizer_->num_substructures())),
+            std::string::npos);
+}
+
+TEST_F(ServeTest, DeprecatedLoadWeightsNamesBothShapesOnMismatch) {
+  const auto model = MakeModel();
+  const std::string path = TempPath("weights.hygt");
+  ASSERT_TRUE(model.SaveWeights(path).ok());
+  core::Rng rng(5);
+  model::HyGnnConfig other_config;
+  other_config.encoder.hidden_dim = 24;  // differs from MakeModel's 16
+  other_config.encoder.output_dim = 12;
+  other_config.decoder_hidden_dim = 10;
+  model::HyGnnModel other(featurizer_->num_substructures(), other_config,
+                          &rng);
+  auto status = other.LoadWeights(path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("16"), std::string::npos);
+  EXPECT_NE(status.message().find("24"), std::string::npos);
+}
+
+TEST_F(ServeTest, CachedPairScorerMatchesColdPathBitwise) {
+  const auto model = MakeModel();
+  EmbeddingStore store(&model);
+  ASSERT_TRUE(store.Rebuild(*context_).ok());
+  EXPECT_EQ(store.num_drugs(), context_->num_edges);
+  EXPECT_EQ(store.dim(), model.config().encoder.output_dim);
+
+  const auto pairs = SomePairs();
+  const auto cold = model.PredictProbabilities(*context_, pairs);
+  PairScorer scorer(&model, &store);
+  const auto cached = scorer.Score(pairs);
+  ASSERT_EQ(cold.size(), cached.size());
+  for (size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(cold[i], cached[i]) << "pair " << i;
+  }
+}
+
+TEST_F(ServeTest, StoreInvalidationAndRebuildAfterWeightReload) {
+  auto model = MakeModel(/*seed=*/11);
+  const auto other = MakeModel(/*seed=*/500);
+  const std::string path = TempPath("other_weights.hygt");
+  ASSERT_TRUE(other.SaveWeights(path).ok());
+
+  EmbeddingStore store(&model);
+  ASSERT_TRUE(store.Rebuild(*context_).ok());
+  const uint64_t generation_before = store.generation();
+  PairScorer scorer(&model, &store);
+  const auto pairs = SomePairs();
+  const auto before = scorer.Score(pairs);
+
+  // Reload different weights into the model: the cache is now stale.
+  ASSERT_TRUE(model.LoadWeights(path).ok());
+  store.Invalidate();
+  EXPECT_FALSE(store.valid());
+  ASSERT_TRUE(store.Rebuild(*context_).ok());
+  EXPECT_TRUE(store.valid());
+  EXPECT_GT(store.generation(), generation_before);
+
+  const auto after = scorer.Score(pairs);
+  const auto cold_after = model.PredictProbabilities(*context_, pairs);
+  bool any_changed = false;
+  for (size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(after[i], cold_after[i]) << "pair " << i;
+    any_changed = any_changed || after[i] != before[i];
+  }
+  EXPECT_TRUE(any_changed)
+      << "reloaded weights produced identical scores; cache test is vacuous";
+}
+
+TEST_F(ServeTest, ScreeningDeterministicAcrossThreadCounts) {
+  const auto model = MakeModel();
+  EmbeddingStore store(&model);
+  ASSERT_TRUE(store.Rebuild(*context_).ok());
+  ScreeningEngine engine(&model, &store);
+
+  std::vector<std::vector<ScreeningHit>> runs;
+  for (const int32_t threads : {1, 2, 4}) {
+    core::SetNumThreads(threads);
+    runs.push_back(engine.TopK(/*query=*/3, /*k=*/10));
+  }
+  core::SetNumThreads(1);
+  ASSERT_EQ(runs[0].size(), 10u);
+  for (size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[run].size(), runs[0].size());
+    for (size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[run][i].drug, runs[0][i].drug) << "rank " << i;
+      EXPECT_EQ(runs[run][i].score, runs[0][i].score) << "rank " << i;
+    }
+  }
+  // Scores are descending with ids breaking ties.
+  for (size_t i = 1; i < runs[0].size(); ++i) {
+    EXPECT_GE(runs[0][i - 1].score, runs[0][i].score);
+  }
+}
+
+TEST_F(ServeTest, AddDrugMatchesFullReencodeBitwise) {
+  const auto model = MakeModel();
+  EmbeddingStore store(&model);
+  ASSERT_TRUE(store.Rebuild(*context_).ok());
+
+  const std::string& cold_smiles = dataset_->drugs().back().smiles;
+  auto added = store.AddDrugSmiles(*featurizer_, cold_smiles);
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  const int32_t new_id = added.value();
+  EXPECT_EQ(new_id, context_->num_edges);
+  EXPECT_EQ(store.num_drugs(), context_->num_edges + 1);
+
+  // Reference: re-encode the whole extended hypergraph from scratch.
+  auto members = featurizer_->SegmentNewSmiles(cold_smiles).value();
+  ASSERT_FALSE(members.empty());
+  auto extended = *catalog_members_;
+  extended.push_back(members);
+  auto hypergraph = graph::BuildDrugHypergraph(
+      extended, featurizer_->num_substructures());
+  auto full_context = model::HypergraphContext::FromHypergraph(hypergraph);
+  const tensor::Tensor full =
+      model.EmbedDrugs(full_context, /*training=*/false, nullptr);
+
+  const float* incremental = store.Row(new_id);
+  for (int64_t j = 0; j < store.dim(); ++j) {
+    EXPECT_EQ(incremental[j], full.At(new_id, j)) << "dim " << j;
+  }
+}
+
+TEST_F(ServeTest, AddDrugValidatesInput) {
+  const auto model = MakeModel();
+  EmbeddingStore store(&model);
+  // Stale store: AddDrug before Rebuild must fail.
+  EXPECT_FALSE(store.AddDrug({0}).ok());
+  ASSERT_TRUE(store.Rebuild(*context_).ok());
+  auto out_of_range = store.AddDrug({featurizer_->num_substructures()});
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.status().code(), core::StatusCode::kOutOfRange);
+  // An isolated (no known substructure) drug still gets a row: all
+  // zeros, same as a full forward would produce for an empty hyperedge.
+  auto empty = store.AddDrug({});
+  ASSERT_TRUE(empty.ok());
+  const float* row = store.Row(empty.value());
+  for (int64_t j = 0; j < store.dim(); ++j) EXPECT_EQ(row[j], 0.0f);
+}
+
+TEST_F(ServeTest, AddDrugRejectsMultiLayerEncoders) {
+  const auto model = MakeModel(/*seed=*/11, /*num_layers=*/2);
+  EmbeddingStore store(&model);
+  ASSERT_TRUE(store.Rebuild(*context_).ok());  // caching still works
+  PairScorer scorer(&model, &store);
+  const auto pairs = SomePairs();
+  const auto cold = model.PredictProbabilities(*context_, pairs);
+  const auto cached = scorer.Score(pairs);
+  for (size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(cold[i], cached[i]) << "pair " << i;
+  }
+  auto added = store.AddDrug({1, 2});
+  ASSERT_FALSE(added.ok());
+  EXPECT_EQ(added.status().code(),
+            core::StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace hygnn::serve
