@@ -10,6 +10,11 @@
 //       [--threads N]        # kernel thread pool size (also via the
 //                            # HYGNN_NUM_THREADS env var; results are
 //                            # bit-identical at any thread count)
+//       [--checkpoint_dir d] # durably checkpoint training into d
+//       [--checkpoint_every N]  # epochs between checkpoints (default 1)
+//       [--resume]           # continue from d's checkpoint, bit-identical
+//                            # to a run that never stopped; starts fresh
+//                            # when no checkpoint exists yet
 //   hygnn_cli evaluate --drugs_csv drugs.csv --pairs_csv pairs.csv
 //       --mode espf --model model.bin
 //   hygnn_cli predict --drugs_csv drugs.csv --mode espf
@@ -76,7 +81,23 @@ int Fail(const core::Status& status) {
   return 1;
 }
 
+/// Flags every corpus-loading command understands (LoadCorpus +
+/// FeatConfigFromFlags + ModelConfigFromFlags).
+const std::vector<std::string> kCorpusFlags = {
+    "drugs_csv", "mode", "espf_threshold", "kmer_k",
+    "hidden_dim", "layers", "decoder"};
+
+std::vector<std::string> KnownFlags(std::vector<std::string> extra) {
+  extra.insert(extra.end(), kCorpusFlags.begin(), kCorpusFlags.end());
+  return extra;
+}
+
 int CmdGenerate(const core::FlagParser& flags) {
+  if (auto s = flags.RequireKnown(
+          {"drugs", "seed", "out_drugs", "out_pairs"});
+      !s.ok()) {
+    return Fail(s);
+  }
   data::DatasetConfig config;
   config.num_drugs = static_cast<int32_t>(flags.GetInt("drugs", 150));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
@@ -125,12 +146,26 @@ core::Result<LoadedCorpus> LoadCorpus(const core::FlagParser& flags) {
 }
 
 int CmdTrain(const core::FlagParser& flags) {
+  // A typo'd flag must fail loudly: --resme silently starting a 600-epoch
+  // run from scratch is exactly the failure mode --resume exists to stop.
+  if (auto s = flags.RequireKnown(KnownFlags(
+          {"pairs_csv", "seed", "epochs", "numerics_guard", "threads",
+           "model", "checkpoint_dir", "checkpoint_every", "resume"}));
+      !s.ok()) {
+    return Fail(s);
+  }
   auto corpus_or = LoadCorpus(flags);
   if (!corpus_or.ok()) return Fail(corpus_or.status());
   auto& corpus = corpus_or.value();
   auto pairs_or =
       data::ReadPairsCsv(flags.GetString("pairs_csv", "pairs.csv"));
   if (!pairs_or.ok()) return Fail(pairs_or.status());
+  if (auto s = data::ValidatePairs(
+          pairs_or.value(),
+          static_cast<int32_t>(corpus.drugs.size()));
+      !s.ok()) {
+    return Fail(s);
+  }
 
   core::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
   model::HyGnnModel hygnn(corpus.featurizer.num_substructures(),
@@ -141,8 +176,14 @@ int CmdTrain(const core::FlagParser& flags) {
   train_config.log_every = 25;
   train_config.numerics_guard = flags.GetBool("numerics_guard", false);
   train_config.threads = static_cast<int32_t>(flags.GetInt("threads", 0));
+  train_config.checkpoint_dir = flags.GetString("checkpoint_dir", "");
+  train_config.checkpoint_every =
+      static_cast<int32_t>(flags.GetInt("checkpoint_every", 1));
+  train_config.resume = flags.GetBool("resume", false);
   model::HyGnnTrainer trainer(&hygnn, train_config);
-  const float loss = trainer.Fit(corpus.context, pairs_or.value());
+  auto loss_or = trainer.TryFit(corpus.context, pairs_or.value());
+  if (!loss_or.ok()) return Fail(loss_or.status());
+  const float loss = loss_or.value();
   std::printf("final training loss: %.4f\n", loss);
 
   const std::string model_path = flags.GetString("model", "model.bin");
@@ -155,12 +196,22 @@ int CmdTrain(const core::FlagParser& flags) {
 }
 
 int CmdEvaluate(const core::FlagParser& flags) {
+  if (auto s = flags.RequireKnown(KnownFlags({"pairs_csv", "model"}));
+      !s.ok()) {
+    return Fail(s);
+  }
   auto corpus_or = LoadCorpus(flags);
   if (!corpus_or.ok()) return Fail(corpus_or.status());
   auto& corpus = corpus_or.value();
   auto pairs_or =
       data::ReadPairsCsv(flags.GetString("pairs_csv", "pairs.csv"));
   if (!pairs_or.ok()) return Fail(pairs_or.status());
+  if (auto s = data::ValidatePairs(
+          pairs_or.value(),
+          static_cast<int32_t>(corpus.drugs.size()));
+      !s.ok()) {
+    return Fail(s);
+  }
 
   auto hygnn_or = model::HyGnnModel::Load(flags.GetString("model", "model.bin"));
   if (!hygnn_or.ok()) return Fail(hygnn_or.status());
@@ -179,6 +230,10 @@ int CmdEvaluate(const core::FlagParser& flags) {
 }
 
 int CmdPredict(const core::FlagParser& flags) {
+  if (auto s = flags.RequireKnown(KnownFlags({"model", "a", "b"}));
+      !s.ok()) {
+    return Fail(s);
+  }
   auto corpus_or = LoadCorpus(flags);
   if (!corpus_or.ok()) return Fail(corpus_or.status());
   auto& corpus = corpus_or.value();
@@ -209,6 +264,10 @@ int CmdPredict(const core::FlagParser& flags) {
 }
 
 int CmdScreen(const core::FlagParser& flags) {
+  if (auto s = flags.RequireKnown(KnownFlags({"model", "query", "top"}));
+      !s.ok()) {
+    return Fail(s);
+  }
   auto corpus_or = LoadCorpus(flags);
   if (!corpus_or.ok()) return Fail(corpus_or.status());
   auto& corpus = corpus_or.value();

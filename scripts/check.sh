@@ -40,6 +40,21 @@ if [[ "${PRESET}" != "tsan" ]]; then
   HYGNN_NUM_THREADS=4 build-tsan/tests/serve_test
 fi
 
+# Durability tests (fault-injected crash-consistency + bit-identical
+# resume) always run under AddressSanitizer/UBSan: a torn-write bug is
+# most likely to show up as a heap overrun or uninitialized read while
+# parsing a truncated file, which asan catches and a plain build may
+# not. When the main suite already ran under asan-ubsan this is covered
+# by ctest above.
+if [[ "${PRESET}" != "asan-ubsan" ]]; then
+  echo "== durability tests (asan-ubsan) =="
+  cmake --preset asan-ubsan >/dev/null
+  cmake --build --preset asan-ubsan -j "${JOBS}" \
+    --target fs_fault_test checkpoint_test
+  build-asan-ubsan/tests/fs_fault_test
+  build-asan-ubsan/tests/checkpoint_test
+fi
+
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy (advisory) =="
   # The preset build dir has a compile database when the generator

@@ -10,6 +10,10 @@ Checks, over *tracked* files only (git ls-files):
   6. src/tensor/ops.cc contains no raw compute loops — numeric work
      belongs in src/tensor/kernels/ (the autograd layer only does shape
      checks and graph wiring)
+  7. no raw std::ofstream/std::ifstream/std::fstream under src/serve/ or
+     src/data/ — persistence there must go through core::FileSystem
+     (src/core/fs.h) so fault injection and the durable-write protocol
+     (temp + fsync + rename + checksum footer) cover every byte on disk
 
 Exits 0 when clean, 1 with one line per violation otherwise.
 """
@@ -38,6 +42,14 @@ RAW_LOOP = re.compile(r"(?<![\w_])(for|while)\s*\(")
 # Files that must stay loop-free: the autograd layer delegates all
 # numeric iteration to the kernel layer (src/tensor/kernels/).
 NO_LOOP_FILES = {"src/tensor/ops.cc"}
+
+RAW_FILE_STREAM = re.compile(
+    r"(?:std::)?(?:o|i)?fstream\b|#\s*include\s*<fstream>")
+
+# Directories whose persistence must route through core::FileSystem:
+# a raw stream bypasses fault injection, the atomic temp+fsync+rename
+# protocol, and checksum footers, so a crash there can tear files.
+NO_RAW_STREAM_DIRS = ("src/serve/", "src/data/")
 
 
 def tracked_files():
@@ -121,6 +133,16 @@ def check_no_raw_loops(path, text, problems):
                 "compute into src/tensor/kernels/ and call the kernel")
 
 
+def check_no_raw_file_streams(path, text, problems):
+    for i, line in enumerate(text.splitlines(), 1):
+        code = LINE_COMMENT.sub("", line)
+        if RAW_FILE_STREAM.search(code):
+            problems.append(
+                f"{path}:{i}: raw std::fstream I/O — use core::FileSystem "
+                "(src/core/fs.h) so durable writes and fault injection "
+                "cover this path")
+
+
 def check_cmake_listing(files, problems):
     cmake_cache = {}
     for path in files:
@@ -168,6 +190,8 @@ def main():
             check_raw_assert(path, text, problems)
         if path in NO_LOOP_FILES:
             check_no_raw_loops(path, text, problems)
+        if path.startswith(NO_RAW_STREAM_DIRS):
+            check_no_raw_file_streams(path, text, problems)
 
     if problems:
         for problem in problems:

@@ -1,5 +1,6 @@
 #include "core/flags.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "core/string_util.h"
@@ -24,6 +25,17 @@ Status FlagParser::Parse(int argc, const char* const* argv) {
       values_[body] = argv[++i];
     } else {
       values_[body] = "true";
+    }
+  }
+  return Status::Ok();
+}
+
+Status FlagParser::RequireKnown(const std::vector<std::string>& known) const {
+  for (const auto& [name, value] : values_) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      return Status::InvalidArgument(
+          "unrecognized flag --" + name +
+          " (misspelled? run without flags for usage)");
     }
   }
   return Status::Ok();

@@ -29,6 +29,12 @@ class FlagParser {
   double GetDouble(const std::string& name, double fallback) const;
   bool GetBool(const std::string& name, bool fallback) const;
 
+  /// Verifies every parsed `--flag` is in `known`, returning
+  /// InvalidArgument naming the first stranger. Binaries call this after
+  /// Parse so a typo'd flag (--resme for --resume) fails loudly instead
+  /// of being silently ignored and changing behavior.
+  Status RequireKnown(const std::vector<std::string>& known) const;
+
   /// Arguments that did not look like flags, in order.
   const std::vector<std::string>& positional() const { return positional_; }
 

@@ -1,0 +1,431 @@
+#include "core/fs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+namespace hygnn::core {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& op, const std::string& path) {
+  return op + " failed for " + path + ": " + std::strerror(errno);
+}
+
+// ---------------------------------------------------------------- POSIX
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (file_ == nullptr) {
+      return Status::FailedPrecondition("append after close: " + path_);
+    }
+    if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      return Status::IoError(ErrnoMessage("write", path_));
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (file_ == nullptr) {
+      return Status::FailedPrecondition("sync after close: " + path_);
+    }
+    if (std::fflush(file_) != 0) {
+      return Status::IoError(ErrnoMessage("fflush", path_));
+    }
+    if (::fsync(::fileno(file_)) != 0) {
+      return Status::IoError(ErrnoMessage("fsync", path_));
+    }
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) {
+      return Status::FailedPrecondition("double close: " + path_);
+    }
+    std::FILE* file = file_;
+    file_ = nullptr;
+    if (std::fclose(file) != 0) {
+      return Status::IoError(ErrnoMessage("close", path_));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+class PosixFileSystem : public FileSystem {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) {
+      return Status::IoError(ErrnoMessage("open for write", path));
+    }
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(file, path));
+  }
+
+  Result<std::string> ReadFile(const std::string& path) override {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+      if (errno == ENOENT) {
+        return Status::NotFound("no such file: " + path);
+      }
+      return Status::IoError(ErrnoMessage("open for read", path));
+    }
+    std::string contents;
+    std::array<char, 1 << 16> buffer;
+    size_t got = 0;
+    while ((got = std::fread(buffer.data(), 1, buffer.size(), file)) > 0) {
+      contents.append(buffer.data(), got);
+    }
+    const bool failed = std::ferror(file) != 0;
+    std::fclose(file);
+    if (failed) return Status::IoError(ErrnoMessage("read", path));
+    return contents;
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IoError(ErrnoMessage("rename to " + to, from));
+    }
+    return Status::Ok();
+  }
+
+  Status Remove(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IoError(ErrnoMessage("remove", path));
+    }
+    return Status::Ok();
+  }
+
+  bool Exists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IoError(ErrnoMessage("mkdir", path));
+    }
+    return Status::Ok();
+  }
+
+  Status SyncDir(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Status::IoError(ErrnoMessage("open dir", path));
+    const bool failed = ::fsync(fd) != 0;
+    ::close(fd);
+    if (failed) return Status::IoError(ErrnoMessage("fsync dir", path));
+    return Status::Ok();
+  }
+};
+
+FileSystem*& ActiveFsSlot() {
+  static FileSystem* active = &PosixFs();
+  return active;
+}
+
+}  // namespace
+
+FileSystem& PosixFs() {
+  static PosixFileSystem posix;
+  return posix;
+}
+
+FileSystem& ActiveFileSystem() { return *ActiveFsSlot(); }
+
+ScopedFileSystem::ScopedFileSystem(FileSystem* fs)
+    : previous_(ActiveFsSlot()) {
+  ActiveFsSlot() = fs;
+}
+
+ScopedFileSystem::~ScopedFileSystem() { ActiveFsSlot() = previous_; }
+
+// -------------------------------------------------------- fault injection
+
+/// Buffers every Append in memory; the file only reaches the base
+/// filesystem at Close (possibly truncated), so an injected mid-write
+/// failure leaves nothing on disk — exactly like a killed process whose
+/// temp file was never flushed.
+class FaultInjectingWritableFile : public WritableFile {
+ public:
+  FaultInjectingWritableFile(FaultInjectingFs* fs, std::string path)
+      : fs_(fs), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    if (closed_) {
+      return Status::FailedPrecondition("append after close: " + path_);
+    }
+    const int64_t index = ++fs_->append_count_;
+    const bool armed_nth =
+        fs_->fail_at_append_ > 0 && index == fs_->fail_at_append_;
+    if (fs_->fail_all_appends_ || armed_nth) {
+      failed_ = true;
+      if (fs_->enospc_) {
+        return Status::IoError("injected ENOSPC: no space left on device "
+                               "(append #" + std::to_string(index) + " to " +
+                               path_ + ")");
+      }
+      return Status::IoError("injected write fault at append #" +
+                             std::to_string(index) + " to " + path_);
+    }
+    buffer_.append(data.data(), data.size());
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (failed_) {
+      return Status::IoError("injected fault: sync of failed file " + path_);
+    }
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (closed_) {
+      return Status::FailedPrecondition("double close: " + path_);
+    }
+    closed_ = true;
+    if (failed_) {
+      // The "crashed" file never reaches disk at all.
+      return Status::IoError("injected fault: file abandoned before close: " +
+                             path_);
+    }
+    std::string contents = buffer_;
+    if (fs_->truncate_close_bytes_ > 0) {
+      const size_t drop = std::min<size_t>(
+          contents.size(), static_cast<size_t>(fs_->truncate_close_bytes_));
+      contents.resize(contents.size() - drop);
+    }
+    auto file_or = fs_->base_->NewWritableFile(path_);
+    if (!file_or.ok()) return file_or.status();
+    auto file = std::move(file_or).value();
+    if (auto s = file->Append(contents); !s.ok()) return s;
+    if (auto s = file->Sync(); !s.ok()) return s;
+    return file->Close();
+  }
+
+ private:
+  FaultInjectingFs* fs_;
+  std::string path_;
+  std::string buffer_;
+  bool failed_ = false;
+  bool closed_ = false;
+};
+
+void FaultInjectingFs::Reset() {
+  append_count_ = 0;
+  fail_at_append_ = 0;
+  enospc_ = false;
+  fail_all_appends_ = false;
+  truncate_close_bytes_ = 0;
+  max_read_bytes_ = -1;
+  fail_renames_ = false;
+}
+
+void FaultInjectingFs::FailNthAppend(int64_t n, bool enospc) {
+  fail_at_append_ = n;
+  enospc_ = enospc;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingFs::NewWritableFile(
+    const std::string& path) {
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectingWritableFile>(this, path));
+}
+
+Result<std::string> FaultInjectingFs::ReadFile(const std::string& path) {
+  auto contents = base_->ReadFile(path);
+  if (!contents.ok()) return contents;
+  if (max_read_bytes_ >= 0 &&
+      contents.value().size() > static_cast<size_t>(max_read_bytes_)) {
+    contents.value().resize(static_cast<size_t>(max_read_bytes_));
+  }
+  return contents;
+}
+
+Status FaultInjectingFs::Rename(const std::string& from,
+                                const std::string& to) {
+  if (fail_renames_) {
+    return Status::IoError("injected rename fault: " + from + " -> " + to);
+  }
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectingFs::Remove(const std::string& path) {
+  return base_->Remove(path);
+}
+
+bool FaultInjectingFs::Exists(const std::string& path) {
+  return base_->Exists(path);
+}
+
+Status FaultInjectingFs::CreateDir(const std::string& path) {
+  return base_->CreateDir(path);
+}
+
+Status FaultInjectingFs::SyncDir(const std::string& path) {
+  return base_->SyncDir(path);
+}
+
+// ------------------------------------------------- integrity + atomicity
+
+namespace {
+
+constexpr char kFooterMagic[4] = {'H', 'Y', 'G', 'F'};
+
+const uint32_t* Crc32Table() {
+  static const auto table = [] {
+    static uint32_t entries[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      entries[i] = crc;
+    }
+    return entries;
+  }();
+  return table;
+}
+
+void AppendPod(std::string* out, const void* value, size_t size) {
+  out->append(reinterpret_cast<const char*>(value), size);
+}
+
+template <typename T>
+T LoadPod(const char* bytes) {
+  T value;
+  std::memcpy(&value, bytes, sizeof(T));
+  return value;
+}
+
+std::string HexU32(uint32_t value) {
+  char buffer[9];
+  std::snprintf(buffer, sizeof(buffer), "%08x", value);
+  return buffer;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  const uint32_t* table = Crc32Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : data) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<uint8_t>(c)) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void AppendIntegrityFooter(std::string* payload) {
+  const uint32_t crc = Crc32(*payload);
+  const uint64_t length = payload->size();
+  AppendPod(payload, &crc, sizeof(crc));
+  AppendPod(payload, &length, sizeof(length));
+  payload->append(kFooterMagic, sizeof(kFooterMagic));
+}
+
+Result<std::string_view> StripIntegrityFooter(std::string_view file_bytes) {
+  if (file_bytes.size() < kIntegrityFooterBytes ||
+      std::memcmp(file_bytes.data() + file_bytes.size() - 4, kFooterMagic,
+                  sizeof(kFooterMagic)) != 0) {
+    return Status::IoError(
+        "missing integrity footer (truncated, torn, or pre-durability "
+        "file)");
+  }
+  const char* footer =
+      file_bytes.data() + file_bytes.size() - kIntegrityFooterBytes;
+  const auto stored_crc = LoadPod<uint32_t>(footer);
+  const auto stored_length = LoadPod<uint64_t>(footer + sizeof(uint32_t));
+  const uint64_t payload_length = file_bytes.size() - kIntegrityFooterBytes;
+  if (stored_length != payload_length) {
+    return Status::IoError(
+        "truncated file: footer records " + std::to_string(stored_length) +
+        " payload bytes, file holds " + std::to_string(payload_length));
+  }
+  const std::string_view payload = file_bytes.substr(0, payload_length);
+  const uint32_t computed = Crc32(payload);
+  if (computed != stored_crc) {
+    return Status::IoError(
+        "integrity checksum mismatch (torn or corrupt write): stored 0x" +
+        HexU32(stored_crc) + ", computed 0x" + HexU32(computed));
+  }
+  return payload;
+}
+
+Status WriteFileAtomic(FileSystem& fs, const std::string& path,
+                       std::string_view payload) {
+  const std::string tmp = path + ".tmp";
+  auto file_or = fs.NewWritableFile(tmp);
+  if (!file_or.ok()) return file_or.status();
+  auto file = std::move(file_or).value();
+  Status status = file->Append(payload);
+  if (status.ok()) status = file->Sync();
+  if (status.ok()) status = file->Close();
+  if (!status.ok()) {
+    fs.Remove(tmp);  // best effort; the destination was never touched
+    return status;
+  }
+  if (auto s = fs.Rename(tmp, path); !s.ok()) {
+    fs.Remove(tmp);
+    return s;
+  }
+  // Make the rename itself durable: fsync the containing directory.
+  const size_t slash = path.find_last_of('/');
+  return fs.SyncDir(slash == std::string::npos ? std::string(".")
+                                               : path.substr(0, slash));
+}
+
+Status WriteFileDurable(FileSystem& fs, const std::string& path,
+                        std::string_view payload) {
+  std::string framed(payload);
+  AppendIntegrityFooter(&framed);
+  return WriteFileAtomic(fs, path, framed);
+}
+
+Status WriteFileDurableWithRetry(FileSystem& fs, const std::string& path,
+                                 std::string_view payload, int attempts,
+                                 int backoff_ms) {
+  Status last;
+  for (int attempt = 0; attempt < std::max(1, attempts); ++attempt) {
+    if (attempt > 0 && backoff_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(backoff_ms << (attempt - 1)));
+    }
+    last = WriteFileDurable(fs, path, payload);
+    if (last.ok()) return last;
+  }
+  return last;
+}
+
+Result<std::string> ReadFileVerified(FileSystem& fs,
+                                     const std::string& path) {
+  auto bytes = fs.ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  auto payload = StripIntegrityFooter(bytes.value());
+  if (!payload.ok()) {
+    return Status(payload.status().code(),
+                  payload.status().message() + ": " + path);
+  }
+  return std::string(payload.value());
+}
+
+}  // namespace hygnn::core

@@ -1,0 +1,189 @@
+#ifndef HYGNN_CORE_FS_H_
+#define HYGNN_CORE_FS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/status.h"
+
+namespace hygnn::core {
+
+/// An open file being written. Obtained from FileSystem::NewWritableFile;
+/// data is not guaranteed on disk until Sync (or a Close that syncs).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the current end of the file.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Flushes userspace buffers and fsyncs the file descriptor, so the
+  /// bytes survive a machine crash (not just a process crash).
+  virtual Status Sync() = 0;
+
+  /// Closes the file. Append/Sync after Close are invalid.
+  virtual Status Close() = 0;
+};
+
+/// Minimal filesystem abstraction (RocksDB-style Env) behind every
+/// persistence path in the library — CSV corpora (data/io), tensor
+/// tables (tensor/serialize), model bundles (serve/bundle), and training
+/// checkpoints (hygnn/checkpoint). Having one seam means FaultInjectingFs
+/// can prove crash-safety of all of them with injected failures instead
+/// of hoping.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Opens `path` for writing, truncating any existing file.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// Reads the whole file into a string. NotFound when absent.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Deletes a file; missing files are not an error.
+  virtual Status Remove(const std::string& path) = 0;
+
+  virtual bool Exists(const std::string& path) = 0;
+
+  /// Creates one directory level; an already-existing directory is OK.
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  /// fsyncs a directory so a completed rename inside it survives a
+  /// crash (the final step of the atomic-write protocol).
+  virtual Status SyncDir(const std::string& path) = 0;
+};
+
+/// The process-wide POSIX filesystem.
+FileSystem& PosixFs();
+
+/// The filesystem every library persistence path uses. Defaults to
+/// PosixFs(); tests swap in a FaultInjectingFs with ScopedFileSystem.
+FileSystem& ActiveFileSystem();
+
+/// RAII override of ActiveFileSystem for the current scope. Not
+/// thread-safe: install before spawning work, as the library reads the
+/// active filesystem without synchronization.
+class ScopedFileSystem {
+ public:
+  explicit ScopedFileSystem(FileSystem* fs);
+  ~ScopedFileSystem();
+
+  ScopedFileSystem(const ScopedFileSystem&) = delete;
+  ScopedFileSystem& operator=(const ScopedFileSystem&) = delete;
+
+ private:
+  FileSystem* previous_;
+};
+
+/// A FileSystem decorator that injects storage faults, for proving that
+/// loaders never accept a torn file and writers never destroy the last
+/// good copy. Writes are buffered in memory and only materialized
+/// through the base filesystem at Close, which is what lets a "crashed"
+/// write leave no file at all and a truncated close produce a torn one.
+class FaultInjectingFs : public FileSystem {
+ public:
+  /// `base` must outlive this wrapper.
+  explicit FaultInjectingFs(FileSystem* base) : base_(base) {}
+
+  // ---- fault plan (all faults default off) ----
+
+  /// Clears every armed fault and the append counter.
+  void Reset();
+
+  /// Fails the `n`th Append (1-based, counted across all files). With
+  /// `enospc`, the error reads as disk-full. n <= 0 disarms.
+  void FailNthAppend(int64_t n, bool enospc = false);
+
+  /// Fails every Append from now on (a dead disk / full volume).
+  void FailAllAppends(bool on) { fail_all_appends_ = on; }
+
+  /// Every subsequent Close materializes the file with its last `bytes`
+  /// bytes missing — a torn write: the rename still happens, but the
+  /// tail was never durable. 0 disarms.
+  void TruncateClosesBy(int64_t bytes) { truncate_close_bytes_ = bytes; }
+
+  /// ReadFile returns at most `bytes` bytes (a short read). < 0 disarms.
+  void MaxReadBytes(int64_t bytes) { max_read_bytes_ = bytes; }
+
+  /// Fails every Rename — the commit step of atomic writes.
+  void FailRenames(bool on) { fail_renames_ = on; }
+
+  /// Appends observed so far (failed attempts included). Lets tests aim
+  /// FailNthAppend at a specific write of a multi-write protocol.
+  int64_t append_count() const { return append_count_; }
+
+  // ---- FileSystem ----
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+
+ private:
+  friend class FaultInjectingWritableFile;
+
+  FileSystem* base_;
+  int64_t append_count_ = 0;
+  int64_t fail_at_append_ = 0;
+  bool enospc_ = false;
+  bool fail_all_appends_ = false;
+  int64_t truncate_close_bytes_ = 0;
+  int64_t max_read_bytes_ = -1;
+  bool fail_renames_ = false;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial) of `data`.
+uint32_t Crc32(std::string_view data);
+
+/// Size of the binary integrity footer AppendIntegrityFooter writes.
+inline constexpr size_t kIntegrityFooterBytes = 16;
+
+/// Appends the 16-byte integrity footer (u32 CRC-32 of the payload,
+/// u64 payload length, magic "HYGF") used by every binary persistence
+/// format. Exposed so tests can bless hand-crafted files.
+void AppendIntegrityFooter(std::string* payload);
+
+/// Validates the integrity footer at the end of `file_bytes` and
+/// returns a view of the payload (footer stripped). Typed errors:
+/// IoError for a missing footer, a length mismatch (truncation), or a
+/// checksum mismatch (torn or corrupt write).
+Result<std::string_view> StripIntegrityFooter(std::string_view file_bytes);
+
+/// Crash-safe file replacement: writes `payload` to `path + ".tmp"`,
+/// fsyncs, renames over `path`, and fsyncs the directory. A crash at
+/// any point leaves either the old file or no file — never a torn one.
+/// No integrity footer is added (use for text formats that carry their
+/// own, like the CSV "#crc32" trailer line).
+Status WriteFileAtomic(FileSystem& fs, const std::string& path,
+                       std::string_view payload);
+
+/// WriteFileAtomic plus the binary integrity footer, so loaders can
+/// reject any torn or corrupt copy via ReadFileVerified.
+Status WriteFileDurable(FileSystem& fs, const std::string& path,
+                        std::string_view payload);
+
+/// WriteFileDurable retried up to `attempts` times with exponential
+/// backoff starting at `backoff_ms` (0 skips the sleeps — tests), for
+/// transient failures such as a momentarily full disk. Returns the last
+/// failure when every attempt fails.
+Status WriteFileDurableWithRetry(FileSystem& fs, const std::string& path,
+                                 std::string_view payload, int attempts,
+                                 int backoff_ms);
+
+/// Reads a WriteFileDurable file and verifies + strips its footer.
+Result<std::string> ReadFileVerified(FileSystem& fs,
+                                     const std::string& path);
+
+}  // namespace hygnn::core
+
+#endif  // HYGNN_CORE_FS_H_

@@ -25,6 +25,20 @@ Rng::Rng(uint64_t seed) {
   for (auto& s : state_) s = SplitMix64(sm);
 }
 
+Rng::State Rng::state() const {
+  State snapshot;
+  for (size_t i = 0; i < snapshot.s.size(); ++i) snapshot.s[i] = state_[i];
+  snapshot.has_cached_normal = has_cached_normal_;
+  snapshot.cached_normal = cached_normal_;
+  return snapshot;
+}
+
+void Rng::set_state(const State& state) {
+  for (size_t i = 0; i < state.s.size(); ++i) state_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 uint64_t Rng::Next() {
   const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
   const uint64_t t = state_[1] << 17;

@@ -1,6 +1,7 @@
 #ifndef HYGNN_CORE_RNG_H_
 #define HYGNN_CORE_RNG_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -15,6 +16,22 @@ class Rng {
  public:
   /// Seeds the generator. Identical seeds yield identical streams.
   explicit Rng(uint64_t seed);
+
+  /// Complete generator state — the xoshiro words plus the Box-Muller
+  /// spare — so a stream can be checkpointed and resumed bit-exactly
+  /// (training checkpoints persist this).
+  struct State {
+    std::array<uint64_t, 4> s{};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+
+  /// Snapshots the stream; feeding the snapshot to set_state reproduces
+  /// the exact continuation.
+  State state() const;
+
+  /// Restores a snapshot taken with state().
+  void set_state(const State& state);
 
   /// Next raw 64-bit value.
   uint64_t Next();

@@ -18,6 +18,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIoError,
+  kAlreadyExists,
 };
 
 /// Returns a short human-readable name for a status code ("Ok",
@@ -52,6 +53,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

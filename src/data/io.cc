@@ -1,8 +1,11 @@
 #include "data/io.h"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
-#include <fstream>
 
+#include "core/fs.h"
 #include "core/string_util.h"
 
 namespace hygnn::data {
@@ -10,36 +13,154 @@ namespace hygnn::data {
 using core::Result;
 using core::Status;
 
+namespace {
+
+constexpr char kCsvFooterPrefix[] = "#crc32,";
+
+/// Strict int32 field parser: the whole trimmed field must be a decimal
+/// integer in range. strtol with an ignored end pointer would happily
+/// read "12garbage" as 12 and "" as 0 — exactly the silent corruption
+/// the readers must refuse.
+bool ParseInt32Field(const std::string& field, int32_t* out) {
+  const std::string text = core::Trim(field);
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  if (value < INT32_MIN || value > INT32_MAX) return false;
+  *out = static_cast<int32_t>(value);
+  return true;
+}
+
+/// Strict finite-float field parser (labels).
+bool ParseFloatField(const std::string& field, float* out) {
+  const std::string text = core::Trim(field);
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const float value = std::strtof(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  if (!std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
+Status LineError(const std::string& path, size_t line,
+                 const std::string& what) {
+  return Status::InvalidArgument(path + ":" + std::to_string(line) + ": " +
+                                 what);
+}
+
+/// Splits verified CSV bytes into (line, 1-based line number) records,
+/// dropping blank lines but keeping the numbering of the original file.
+std::vector<std::pair<std::string, size_t>> SplitCsvLines(
+    const std::string& content) {
+  std::vector<std::pair<std::string, size_t>> lines;
+  size_t begin = 0, line_no = 1;
+  while (begin <= content.size()) {
+    size_t end = content.find('\n', begin);
+    if (end == std::string::npos) end = content.size();
+    std::string line = content.substr(begin, end - begin);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!core::Trim(line).empty()) lines.emplace_back(line, line_no);
+    if (end == content.size()) break;
+    begin = end + 1;
+    ++line_no;
+  }
+  return lines;
+}
+
+/// Locates and verifies the `#crc32` trailer, returning the bytes the
+/// checksum covers (everything before the trailer line). Missing
+/// trailer -> FailedPrecondition (could be an external file; the error
+/// says how to adopt it). Bad checksum -> IoError (torn or corrupt).
+Result<std::string> VerifyCsvFooter(const std::string& content,
+                                    const std::string& path) {
+  const size_t pos = content.rfind(kCsvFooterPrefix);
+  if (pos == std::string::npos ||
+      (pos != 0 && content[pos - 1] != '\n')) {
+    return Status::FailedPrecondition(
+        "missing #crc32 integrity trailer (torn file, or an "
+        "externally-produced CSV — adopt it with "
+        "data::AppendCsvIntegrityFooter): " + path);
+  }
+  std::string footer = content.substr(pos);
+  while (!footer.empty() && (footer.back() == '\n' || footer.back() == '\r')) {
+    footer.pop_back();
+  }
+  const std::string hex = footer.substr(sizeof(kCsvFooterPrefix) - 1);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long stored = std::strtoul(hex.c_str(), &end, 16);
+  if (errno != 0 || hex.empty() || hex.size() != 8 ||
+      end != hex.c_str() + hex.size()) {
+    return Status::IoError("malformed #crc32 integrity trailer (torn or "
+                           "corrupt write): " + path);
+  }
+  const std::string body = content.substr(0, pos);
+  const uint32_t computed = core::Crc32(body);
+  if (computed != static_cast<uint32_t>(stored)) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer),
+                  "stored 0x%08lx, computed 0x%08x", stored, computed);
+    return Status::IoError("CSV integrity checksum mismatch (torn or "
+                           "corrupt write): " + std::string(buffer) + ": " +
+                           path);
+  }
+  return body;
+}
+
+/// Reads `path` through the active filesystem and returns the
+/// checksum-verified CSV body.
+Result<std::string> ReadVerifiedCsv(const std::string& path) {
+  auto content = core::ActiveFileSystem().ReadFile(path);
+  if (!content.ok()) return content.status();
+  return VerifyCsvFooter(content.value(), path);
+}
+
+}  // namespace
+
+void AppendCsvIntegrityFooter(std::string* csv) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%08x", core::Crc32(*csv));
+  csv->append(kCsvFooterPrefix).append(buffer).append("\n");
+}
+
 Status WriteDrugsCsv(const std::vector<DrugRecord>& drugs,
                      const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  out << "index,drugbank_id,name,smiles\n";
+  std::string out = "index,drugbank_id,name,smiles\n";
   for (const auto& drug : drugs) {
-    out << drug.index << ',' << drug.drugbank_id << ',' << drug.name << ','
-        << drug.smiles << '\n';
+    out += std::to_string(drug.index) + ',' + drug.drugbank_id + ',' +
+           drug.name + ',' + drug.smiles + '\n';
   }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  AppendCsvIntegrityFooter(&out);
+  return core::WriteFileAtomic(core::ActiveFileSystem(), path, out);
 }
 
 Result<std::vector<DrugRecord>> ReadDrugsCsv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open for read: " + path);
-  std::string line;
-  if (!std::getline(in, line)) {
-    return Status::IoError("empty file: " + path);
-  }
+  auto body = ReadVerifiedCsv(path);
+  if (!body.ok()) return body.status();
+  const auto lines = SplitCsvLines(body.value());
+  if (lines.empty()) return Status::IoError("empty file: " + path);
   std::vector<DrugRecord> drugs;
-  while (std::getline(in, line)) {
-    if (core::Trim(line).empty()) continue;
+  for (size_t i = 1; i < lines.size(); ++i) {  // lines[0] is the header
+    const auto& [line, line_no] = lines[i];
     auto fields = core::Split(line, ',');
     if (fields.size() != 4) {
-      return Status::IoError("malformed drug row: " + line);
+      return LineError(path, line_no,
+                       "expected 4 fields (index,drugbank_id,name,smiles), "
+                       "got " + std::to_string(fields.size()));
     }
     DrugRecord record;
-    record.index = static_cast<int32_t>(std::strtol(fields[0].c_str(),
-                                                    nullptr, 10));
+    if (!ParseInt32Field(fields[0], &record.index)) {
+      return LineError(path, line_no,
+                       "malformed drug index \"" + fields[0] + "\"");
+    }
+    if (record.index < 0) {
+      return LineError(path, line_no,
+                       "negative drug index " + std::to_string(record.index));
+    }
     record.drugbank_id = fields[1];
     record.name = fields[2];
     record.smiles = fields[3];
@@ -50,40 +171,62 @@ Result<std::vector<DrugRecord>> ReadDrugsCsv(const std::string& path) {
 
 Status WritePairsCsv(const std::vector<LabeledPair>& pairs,
                      const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  out << "drug_a,drug_b,label\n";
+  std::string out = "drug_a,drug_b,label\n";
   for (const auto& pair : pairs) {
-    out << pair.a << ',' << pair.b << ','
-        << static_cast<int>(pair.label > 0.5f) << '\n';
+    out += std::to_string(pair.a) + ',' + std::to_string(pair.b) + ',' +
+           std::to_string(static_cast<int>(pair.label > 0.5f)) + '\n';
   }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  AppendCsvIntegrityFooter(&out);
+  return core::WriteFileAtomic(core::ActiveFileSystem(), path, out);
 }
 
 Result<std::vector<LabeledPair>> ReadPairsCsv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open for read: " + path);
-  std::string line;
-  if (!std::getline(in, line)) {
-    return Status::IoError("empty file: " + path);
-  }
+  auto body = ReadVerifiedCsv(path);
+  if (!body.ok()) return body.status();
+  const auto lines = SplitCsvLines(body.value());
+  if (lines.empty()) return Status::IoError("empty file: " + path);
   std::vector<LabeledPair> pairs;
-  while (std::getline(in, line)) {
-    if (core::Trim(line).empty()) continue;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const auto& [line, line_no] = lines[i];
     auto fields = core::Split(line, ',');
     if (fields.size() != 3) {
-      return Status::IoError("malformed pair row: " + line);
+      return LineError(path, line_no,
+                       "expected 3 fields (drug_a,drug_b,label), got " +
+                       std::to_string(fields.size()));
     }
     LabeledPair pair;
-    pair.a = static_cast<int32_t>(std::strtol(fields[0].c_str(), nullptr,
-                                              10));
-    pair.b = static_cast<int32_t>(std::strtol(fields[1].c_str(), nullptr,
-                                              10));
-    pair.label = std::strtof(fields[2].c_str(), nullptr);
+    if (!ParseInt32Field(fields[0], &pair.a) || pair.a < 0) {
+      return LineError(path, line_no,
+                       "malformed drug_a index \"" + fields[0] + "\"");
+    }
+    if (!ParseInt32Field(fields[1], &pair.b) || pair.b < 0) {
+      return LineError(path, line_no,
+                       "malformed drug_b index \"" + fields[1] + "\"");
+    }
+    if (!ParseFloatField(fields[2], &pair.label)) {
+      return LineError(path, line_no,
+                       "malformed label \"" + fields[2] + "\"");
+    }
     pairs.push_back(pair);
   }
   return pairs;
+}
+
+Status ValidatePairs(const std::vector<LabeledPair>& pairs,
+                     int32_t num_drugs) {
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const auto& pair = pairs[i];
+    if (pair.a < 0 || pair.a >= num_drugs || pair.b < 0 ||
+        pair.b >= num_drugs) {
+      const int32_t bad = (pair.a < 0 || pair.a >= num_drugs) ? pair.a
+                                                              : pair.b;
+      return Status::OutOfRange(
+          "pair " + std::to_string(i) + ": drug index " +
+          std::to_string(bad) + " outside catalog of " +
+          std::to_string(num_drugs) + " drugs");
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace hygnn::data

@@ -9,6 +9,18 @@
 
 namespace hygnn::data {
 
+/// All CSV I/O goes through core::ActiveFileSystem(): writes are atomic
+/// (temp + fsync + rename), so a crash mid-write leaves the previous
+/// file or none, never a torn one. Every written CSV ends with a
+/// `#crc32,xxxxxxxx` trailer line; the readers require and verify it,
+/// rejecting truncated or corrupt files with a typed Status. Readers
+/// report each malformed row as InvalidArgument naming `path:line`.
+
+/// Appends the `#crc32` integrity trailer the CSV readers require.
+/// WriteDrugsCsv/WritePairsCsv do this automatically; call it to adopt
+/// an externally-produced CSV (or bless a test fixture).
+void AppendCsvIntegrityFooter(std::string* csv);
+
 /// Writes the drug registry as CSV: index,drugbank_id,name,smiles.
 core::Status WriteDrugsCsv(const std::vector<DrugRecord>& drugs,
                            const std::string& path);
@@ -23,6 +35,12 @@ core::Status WritePairsCsv(const std::vector<LabeledPair>& pairs,
 
 /// Reads labeled pairs written by WritePairsCsv.
 core::Result<std::vector<LabeledPair>> ReadPairsCsv(const std::string& path);
+
+/// Checks that every pair references a drug in [0, num_drugs); returns
+/// OutOfRange naming the offending pair otherwise. Callers must run
+/// this between loading a pairs CSV and indexing into model embeddings.
+core::Status ValidatePairs(const std::vector<LabeledPair>& pairs,
+                           int32_t num_drugs);
 
 }  // namespace hygnn::data
 

@@ -1,0 +1,69 @@
+#ifndef HYGNN_HYGNN_CHECKPOINT_H_
+#define HYGNN_HYGNN_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+#include "tensor/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace hygnn::model {
+
+/// Everything HyGnnTrainer needs to continue an interrupted run
+/// bit-identically to one that never stopped: model weights, the full
+/// Adam state (step count plus both moment vectors), the trainer RNG
+/// stream, and the early-stopping bookkeeping.
+///
+/// On-disk format (all little-endian, written by core::WriteFileDurable
+/// so the file carries a CRC-32 integrity footer and is committed via
+/// temp + fsync + rename):
+///
+///   | section  | contents                                             |
+///   |----------|------------------------------------------------------|
+///   | header   | magic "HYGC", u32 format version                     |
+///   | progress | i32 next_epoch, f32 losses of completed epochs       |
+///   | stopping | f32 best_val_loss, i32 epochs_since_improvement      |
+///   | rng      | 4 x u64 xoshiro words, u8 flag, f64 cached normal    |
+///   | adam     | i64 step, then per-parameter m and v float vectors   |
+///   | weights  | named tensor table (tensor/serialize "HYGT" section) |
+struct TrainCheckpoint {
+  /// First epoch index the resumed run should execute (= number of
+  /// completed epochs).
+  int32_t next_epoch = 0;
+  /// Training loss of every completed epoch, in order.
+  std::vector<float> epoch_losses;
+  /// Early-stopping state. best_val_loss is +inf when no validation
+  /// fold is configured.
+  float best_val_loss = 0.0f;
+  int32_t epochs_since_improvement = 0;
+  /// The trainer's RNG stream at the epoch boundary.
+  core::Rng::State rng;
+  /// Adam step count and both moment vectors.
+  tensor::AdamState adam;
+  /// Model weights in Parameters() order.
+  std::vector<std::pair<std::string, tensor::Tensor>> weights;
+
+  /// Durably writes the checkpoint (temp + fsync + rename + CRC footer),
+  /// retrying transient failures up to `attempts` times with exponential
+  /// backoff starting at `backoff_ms` (0 skips the sleeps). A crash at
+  /// any point leaves the previous checkpoint or none — never a torn one.
+  core::Status Save(const std::string& path, int attempts = 3,
+                    int backoff_ms = 50) const;
+
+  /// Reads and validates a Save file. Torn, truncated, or corrupt files
+  /// are rejected with a typed Status — a resumed run never starts from
+  /// half a checkpoint.
+  static core::Result<TrainCheckpoint> Load(const std::string& path);
+};
+
+/// The checkpoint file HyGnnTrainer reads and writes inside a
+/// checkpoint directory.
+std::string CheckpointPath(const std::string& checkpoint_dir);
+
+}  // namespace hygnn::model
+
+#endif  // HYGNN_HYGNN_CHECKPOINT_H_

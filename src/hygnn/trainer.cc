@@ -1,17 +1,24 @@
 #include "hygnn/trainer.h"
 
+#include <algorithm>
 #include <limits>
+#include <numeric>
 #include <optional>
 
 #include "core/flags.h"
+#include "core/fs.h"
 #include "core/logging.h"
 #include "core/rng.h"
 #include "core/thread_pool.h"
+#include "hygnn/checkpoint.h"
 #include "tensor/debug.h"
 #include "tensor/loss.h"
 #include "tensor/optimizer.h"
+#include "tensor/serialize.h"
 
 namespace hygnn::model {
+
+using core::Status;
 
 EvalResult EvaluateScores(const std::vector<float>& scores,
                           const std::vector<float>& labels) {
@@ -32,6 +39,14 @@ HyGnnTrainer::HyGnnTrainer(HyGnnModel* model, const TrainConfig& config)
 
 float HyGnnTrainer::Fit(const HypergraphContext& context,
                         const std::vector<data::LabeledPair>& train_pairs) {
+  auto result = TryFit(context, train_pairs);
+  HYGNN_CHECK(result.ok()) << result.status().ToString();
+  return result.value();
+}
+
+core::Result<float> HyGnnTrainer::TryFit(
+    const HypergraphContext& context,
+    const std::vector<data::LabeledPair>& train_pairs) {
   HYGNN_CHECK(!train_pairs.empty());
   epoch_losses_.clear();
   // Kernel thread count: an explicit config wins; 0 leaves the global
@@ -68,17 +83,79 @@ float HyGnnTrainer::Fit(const HypergraphContext& context,
   float last_loss = 0.0f;
   float best_val_loss = std::numeric_limits<float>::infinity();
   int32_t epochs_since_improvement = 0;
-  for (int32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+  int32_t start_epoch = 0;
+
+  // Checkpointing. The validation split above was re-derived
+  // deterministically from the seed, so on resume it is identical to the
+  // interrupted run's; restoring the RNG stream afterwards makes every
+  // subsequent draw identical too.
+  const bool checkpointing = !config_.checkpoint_dir.empty();
+  std::string ckpt_path;
+  if (config_.resume && !checkpointing) {
+    return Status::InvalidArgument(
+        "resume requested but checkpoint_dir is empty");
+  }
+  if (checkpointing) {
+    ckpt_path = CheckpointPath(config_.checkpoint_dir);
+    if (auto status =
+            core::ActiveFileSystem().CreateDir(config_.checkpoint_dir);
+        !status.ok()) {
+      return status;
+    }
+    if (config_.resume && core::ActiveFileSystem().Exists(ckpt_path)) {
+      // A corrupt or mismatched checkpoint is a hard error: silently
+      // restarting from scratch would discard work the caller believes
+      // is preserved.
+      auto loaded = TrainCheckpoint::Load(ckpt_path);
+      if (!loaded.ok()) return loaded.status();
+      TrainCheckpoint& ckpt = loaded.value();
+      auto parameters = model_->Parameters();
+      if (auto status = tensor::RestoreParameters(ckpt.weights, &parameters);
+          !status.ok()) {
+        return Status(status.code(),
+                      "checkpoint does not fit this model (" +
+                          status.message() + "): " + ckpt_path);
+      }
+      if (auto status = optimizer.RestoreState(ckpt.adam); !status.ok()) {
+        return Status(status.code(), status.message() + ": " + ckpt_path);
+      }
+      rng.set_state(ckpt.rng);
+      epoch_losses_ = ckpt.epoch_losses;
+      if (!epoch_losses_.empty()) last_loss = epoch_losses_.back();
+      best_val_loss = ckpt.best_val_loss;
+      epochs_since_improvement = ckpt.epochs_since_improvement;
+      start_epoch = ckpt.next_epoch;
+      if (config_.verbose) {
+        HYGNN_LOG(Info) << "resumed from " << ckpt_path << " at epoch "
+                        << start_epoch;
+      }
+    } else if (config_.resume) {
+      // Missing checkpoint is not an error, so restart loops can always
+      // pass --resume: the first run simply starts fresh.
+      HYGNN_LOG(Info) << "no checkpoint at " << ckpt_path
+                      << "; starting fresh";
+    }
+  }
+
+  for (int32_t epoch = start_epoch; epoch < config_.epochs; ++epoch) {
     if (config_.batch_size > 0) {
-      rng.Shuffle(train);
+      // Each epoch's batch order must be a pure function of the canonical
+      // post-split order and this epoch's RNG draws. Shuffling `train` in
+      // place would accumulate permutations across epochs, so a resumed run
+      // (whose `train` is freshly re-split) could never reproduce the order
+      // the interrupted run would have used — breaking bit-identical resume.
+      std::vector<size_t> order(train.size());
+      std::iota(order.begin(), order.end(), size_t{0});
+      rng.Shuffle(order);
       float epoch_loss = 0.0f;
       size_t batches = 0;
       for (size_t begin = 0; begin < train.size();
            begin += static_cast<size_t>(config_.batch_size)) {
         const size_t end = std::min(
             train.size(), begin + static_cast<size_t>(config_.batch_size));
-        std::vector<data::LabeledPair> batch(train.begin() + begin,
-                                             train.begin() + end);
+        std::vector<data::LabeledPair> batch;
+        batch.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i) batch.push_back(train[order[i]]);
         optimizer.ZeroGrad();
         tensor::Tensor logits =
             model_->Forward(context, batch, /*training=*/true, &rng);
@@ -130,6 +207,31 @@ float HyGnnTrainer::Fit(const HypergraphContext& context,
                           << " (val loss " << val_loss << ")";
         }
         break;
+      }
+    }
+    if (checkpointing &&
+        ((epoch + 1) % std::max(1, config_.checkpoint_every) == 0 ||
+         epoch + 1 == config_.epochs)) {
+      TrainCheckpoint ckpt;
+      ckpt.next_epoch = epoch + 1;
+      ckpt.epoch_losses = epoch_losses_;
+      ckpt.best_val_loss = best_val_loss;
+      ckpt.epochs_since_improvement = epochs_since_improvement;
+      ckpt.rng = rng.state();
+      ckpt.adam = optimizer.ExportState();
+      const auto parameters = model_->Parameters();
+      ckpt.weights.reserve(parameters.size());
+      for (size_t i = 0; i < parameters.size(); ++i) {
+        ckpt.weights.emplace_back("param" + std::to_string(i),
+                                  parameters[i]);
+      }
+      if (auto status = ckpt.Save(ckpt_path, config_.checkpoint_write_attempts,
+                                  config_.checkpoint_backoff_ms);
+          !status.ok()) {
+        // Graceful degradation: a run must not die because one
+        // checkpoint write failed — the next interval tries again.
+        HYGNN_LOG(Warning) << "checkpoint write failed (training "
+                              "continues): " << status.ToString();
       }
     }
     if (config_.verbose && (epoch % config_.log_every == 0 ||

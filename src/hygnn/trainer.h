@@ -2,8 +2,10 @@
 #define HYGNN_HYGNN_TRAINER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/status.h"
 #include "data/drug.h"
 #include "hygnn/model.h"
 #include "metrics/metrics.h"
@@ -43,6 +45,23 @@ struct TrainConfig {
   /// or 1). Kernels are bit-deterministic, so the trained weights are
   /// identical at any thread count.
   int32_t threads = 0;
+  /// When non-empty, TryFit durably writes a TrainCheckpoint into this
+  /// directory every `checkpoint_every` epochs (and creates the
+  /// directory if needed). A failed checkpoint write is logged and
+  /// training continues — losing a checkpoint must not kill a run.
+  std::string checkpoint_dir;
+  int32_t checkpoint_every = 1;
+  /// Resume from the checkpoint in `checkpoint_dir` if one exists. The
+  /// continuation is bit-identical to a run that never stopped: weights,
+  /// Adam moments, RNG stream, and early-stop counters are all restored.
+  /// A missing checkpoint starts fresh (so restart loops can always pass
+  /// the flag); a corrupt one is a typed error, never a silent restart.
+  bool resume = false;
+  /// Retry policy for transient checkpoint-write failures (e.g. a
+  /// briefly full disk): attempts with exponential backoff from
+  /// `checkpoint_backoff_ms`.
+  int32_t checkpoint_write_attempts = 3;
+  int32_t checkpoint_backoff_ms = 50;
 };
 
 /// F1 / ROC-AUC / PR-AUC triple — the paper's reporting columns. The
@@ -67,9 +86,17 @@ class HyGnnTrainer {
   /// `model` must outlive the trainer.
   HyGnnTrainer(HyGnnModel* model, const TrainConfig& config);
 
-  /// Trains in place; returns the final training loss.
+  /// Trains in place; returns the final training loss. Checkpoint
+  /// configuration errors (corrupt checkpoint, unwritable directory)
+  /// are fatal here — use TryFit to handle them.
   float Fit(const HypergraphContext& context,
             const std::vector<data::LabeledPair>& train_pairs);
+
+  /// Fit with typed error reporting: resuming from a corrupt or
+  /// mismatched checkpoint, or failing to create the checkpoint
+  /// directory, returns a Status instead of aborting.
+  core::Result<float> TryFit(const HypergraphContext& context,
+                             const std::vector<data::LabeledPair>& train_pairs);
 
   /// Scores `pairs` and computes F1/ROC-AUC/PR-AUC against their labels.
   EvalResult Evaluate(const HypergraphContext& context,

@@ -2,8 +2,9 @@
 
 #include <cstdint>
 #include <cstring>
-#include <fstream>
+#include <sstream>
 
+#include "core/fs.h"
 #include "core/rng.h"
 #include "tensor/serialize.h"
 
@@ -141,8 +142,9 @@ Status ModelBundle::Save(const model::HyGnnModel& model,
         std::to_string(vocabulary.size()) + " substructures, model input "
         "dimension is " + std::to_string(model.input_dim()));
   }
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open for write: " + path);
+  // Serialize in memory, then commit through the crash-safe write path
+  // (temp + fsync + rename, CRC32 footer) of the active filesystem.
+  std::ostringstream out;
   out.write(kBundleMagic, sizeof(kBundleMagic));
   WritePod(out, kBundleVersion);
   WriteConfig(out, model.input_dim(), model.config());
@@ -157,13 +159,25 @@ Status ModelBundle::Save(const model::HyGnnModel& model,
   if (auto status = tensor::SaveTensorsToStream(named, out); !status.ok()) {
     return Status(status.code(), status.message() + ": " + path);
   }
-  if (!out) return Status::IoError("bundle write failed: " + path);
-  return Status::Ok();
+  return core::WriteFileDurable(core::ActiveFileSystem(), path, out.str());
 }
 
 Result<ModelBundle> ModelBundle::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for read: " + path);
+  auto raw = core::ActiveFileSystem().ReadFile(path);
+  if (!raw.ok()) return raw.status();
+  // Check the magic on the raw bytes before the integrity footer, so a
+  // wrong-format file is reported as such rather than as "corrupt".
+  if (raw.value().size() < sizeof(kBundleMagic) ||
+      std::memcmp(raw.value().data(), kBundleMagic, sizeof(kBundleMagic)) !=
+          0) {
+    return Status::IoError("not a HyGNN model bundle: " + path);
+  }
+  auto payload = core::StripIntegrityFooter(raw.value());
+  if (!payload.ok()) {
+    return Status(payload.status().code(),
+                  payload.status().message() + ": " + path);
+  }
+  std::istringstream in{std::string(payload.value())};
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kBundleMagic, sizeof(kBundleMagic)) != 0) {

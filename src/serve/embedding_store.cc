@@ -75,6 +75,7 @@ Status EmbeddingStore::Rebuild(const model::HypergraphContext& context) {
   }
   valid_ = true;
   ++generation_;
+  names_.clear();
   return Status::Ok();
 }
 
@@ -98,6 +99,13 @@ Result<int32_t> EmbeddingStore::AddDrug(
           " outside the model vocabulary [0, " +
           std::to_string(num_nodes_) + ")");
     }
+  }
+  if (substructures.empty()) {
+    // Graceful degradation: a drug whose SMILES matched no vocabulary
+    // substructure still gets a (zero) row — scores against it are
+    // uninformative but the catalog stays consistent.
+    HYGNN_LOG(Warning) << "AddDrug: zero recognized substructures; "
+                          "appending a zero embedding row";
   }
   // Hypergraph membership is a set: sort + dedup, matching what
   // Hypergraph/CsrMatrix::FromCoo do to incidence pairs.
@@ -242,6 +250,33 @@ Result<int32_t> EmbeddingStore::AddDrugSmiles(
   auto ids = featurizer.SegmentNewSmiles(smiles);
   if (!ids.ok()) return ids.status();
   return AddDrug(ids.value());
+}
+
+Result<int32_t> EmbeddingStore::AddDrugNamed(
+    const std::string& external_id,
+    const std::vector<int32_t>& substructures) {
+  if (external_id.empty()) {
+    return Status::InvalidArgument("empty external drug id");
+  }
+  if (auto it = names_.find(external_id); it != names_.end()) {
+    return Status::AlreadyExists(
+        "drug \"" + external_id + "\" is already registered as row " +
+        std::to_string(it->second));
+  }
+  auto row = AddDrug(substructures);
+  if (!row.ok()) return row.status();
+  names_.emplace(external_id, row.value());
+  return row;
+}
+
+Result<int32_t> EmbeddingStore::FindDrug(
+    const std::string& external_id) const {
+  auto it = names_.find(external_id);
+  if (it == names_.end()) {
+    return Status::NotFound("no drug registered as \"" + external_id +
+                            "\"");
+  }
+  return it->second;
 }
 
 const float* EmbeddingStore::Row(int32_t drug) const {

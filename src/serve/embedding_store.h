@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/status.h"
@@ -57,6 +58,18 @@ class EmbeddingStore {
       const data::SubstructureFeaturizer& featurizer,
       const std::string& smiles);
 
+  /// AddDrug under an external identifier (e.g. a DrugBank accession).
+  /// Rejects an already-registered id with AlreadyExists *before*
+  /// touching the cache, so a double-submitted drug cannot occupy two
+  /// rows. The registry is cleared by Rebuild (row ids are reassigned).
+  core::Result<int32_t> AddDrugNamed(
+      const std::string& external_id,
+      const std::vector<int32_t>& substructures);
+
+  /// Row id previously returned by AddDrugNamed for `external_id`;
+  /// NotFound when the id was never registered (or a Rebuild cleared it).
+  core::Result<int32_t> FindDrug(const std::string& external_id) const;
+
   /// Marks the cache stale without touching its contents. Read paths
   /// fail until the next Rebuild.
   void Invalidate() { valid_ = false; }
@@ -91,6 +104,9 @@ class EmbeddingStore {
   std::vector<float> q_proj_;
   std::vector<float> edge_scores_;
   std::vector<std::vector<int32_t>> incident_;
+  /// External id -> row id for drugs added via AddDrugNamed. Cleared on
+  /// Rebuild, which reassigns row ids.
+  std::unordered_map<std::string, int32_t> names_;
 };
 
 }  // namespace hygnn::serve

@@ -80,6 +80,40 @@ Adam::Adam(std::vector<Tensor> parameters, float lr, float beta1, float beta2,
   }
 }
 
+AdamState Adam::ExportState() const {
+  AdamState state;
+  state.step = t_;
+  state.m = m_;
+  state.v = v_;
+  return state;
+}
+
+core::Status Adam::RestoreState(const AdamState& state) {
+  if (state.m.size() != m_.size() || state.v.size() != v_.size()) {
+    return core::Status::InvalidArgument(
+        "Adam state parameter count mismatch: state has " +
+        std::to_string(state.m.size()) + "/" + std::to_string(state.v.size()) +
+        " (m/v), optimizer has " + std::to_string(m_.size()));
+  }
+  for (size_t i = 0; i < m_.size(); ++i) {
+    if (state.m[i].size() != m_[i].size() ||
+        state.v[i].size() != v_[i].size()) {
+      return core::Status::InvalidArgument(
+          "Adam state size mismatch at parameter " + std::to_string(i) +
+          ": state has " + std::to_string(state.m[i].size()) +
+          " elements, optimizer has " + std::to_string(m_[i].size()));
+    }
+  }
+  if (state.step < 0) {
+    return core::Status::InvalidArgument(
+        "Adam state has negative step count " + std::to_string(state.step));
+  }
+  t_ = state.step;
+  m_ = state.m;
+  v_ = state.v;
+  return core::Status::Ok();
+}
+
 void Adam::Step() {
   ++t_;
   const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));

@@ -1,8 +1,10 @@
 #ifndef HYGNN_TENSOR_OPTIMIZER_H_
 #define HYGNN_TENSOR_OPTIMIZER_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "core/status.h"
 #include "tensor/tensor.h"
 
 namespace hygnn::tensor {
@@ -45,6 +47,15 @@ class Sgd : public Optimizer {
   float weight_decay_;
 };
 
+/// The evolving part of an Adam optimizer — step count plus both moment
+/// vectors per parameter. Snapshotted into training checkpoints so a
+/// resumed run takes bit-identical steps.
+struct AdamState {
+  int64_t step = 0;
+  std::vector<std::vector<float>> m;  // first moment per parameter
+  std::vector<std::vector<float>> v;  // second moment per parameter
+};
+
 /// Adam (Kingma & Ba). Defaults follow the paper:
 /// beta1=0.9, beta2=0.999, eps=1e-8. The HyGNN paper trains with Adam at
 /// lr = 0.01.
@@ -54,6 +65,13 @@ class Adam : public Optimizer {
        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
 
   void Step() override;
+
+  /// Copies out the optimizer state for checkpointing.
+  AdamState ExportState() const;
+
+  /// Installs a state exported from an identically-shaped optimizer;
+  /// fails with a message naming both sides on any size mismatch.
+  core::Status RestoreState(const AdamState& state);
 
  private:
   float lr_, beta1_, beta2_, eps_, weight_decay_;

@@ -2,9 +2,11 @@
 
 #include <cstdint>
 #include <cstring>
-#include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
+
+#include "core/fs.h"
 
 namespace hygnn::tensor {
 
@@ -96,18 +98,22 @@ Result<std::vector<std::pair<std::string, Tensor>>> LoadTensorsFromStream(
 Status SaveTensors(
     const std::vector<std::pair<std::string, Tensor>>& named_tensors,
     const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  if (auto status = SaveTensorsToStream(named_tensors, out); !status.ok()) {
+  // Serialize in memory, then commit through the crash-safe write path
+  // (temp + fsync + rename, CRC32 footer) of the active filesystem.
+  std::ostringstream buffer;
+  if (auto status = SaveTensorsToStream(named_tensors, buffer);
+      !status.ok()) {
     return Status(status.code(), status.message() + ": " + path);
   }
-  return Status::Ok();
+  return core::WriteFileDurable(core::ActiveFileSystem(), path,
+                                buffer.str());
 }
 
 Result<std::vector<std::pair<std::string, Tensor>>> LoadTensors(
     const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for read: " + path);
+  auto payload = core::ReadFileVerified(core::ActiveFileSystem(), path);
+  if (!payload.ok()) return payload.status();
+  std::istringstream in(std::move(payload).value());
   auto loaded = LoadTensorsFromStream(in);
   if (!loaded.ok()) {
     return Status(loaded.status().code(),

@@ -1,0 +1,281 @@
+#include "hygnn/checkpoint.h"
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fs.h"
+#include "core/rng.h"
+#include "data/featurize.h"
+#include "data/generator.h"
+#include "data/pairs.h"
+#include "graph/builders.h"
+#include "hygnn/model.h"
+#include "hygnn/trainer.h"
+
+namespace hygnn::model {
+namespace {
+
+std::string TempDirPath(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  core::PosixFs().CreateDir(dir);
+  return dir;
+}
+
+/// Miniature corpus shared by the resume tests.
+struct TinyPipeline {
+  TinyPipeline() {
+    data::DatasetConfig data_config;
+    data_config.num_drugs = 60;
+    data_config.seed = 606;
+    dataset = std::make_unique<data::DdiDataset>(
+        data::GenerateDataset(data_config).value());
+    data::FeaturizeConfig feat_config;
+    feat_config.espf_frequency_threshold = 3;
+    featurizer = std::make_unique<data::SubstructureFeaturizer>(
+        data::SubstructureFeaturizer::Build(dataset->drugs(), feat_config)
+            .value());
+    auto hypergraph = graph::BuildDrugHypergraph(
+        featurizer->drug_substructures(), featurizer->num_substructures());
+    context = std::make_unique<HypergraphContext>(
+        HypergraphContext::FromHypergraph(hypergraph));
+    core::Rng rng(607);
+    pairs = data::BuildBalancedPairs(*dataset, &rng);
+  }
+
+  HyGnnModel MakeModel(uint64_t seed = 1) const {
+    core::Rng rng(seed);
+    HyGnnConfig config;
+    config.encoder.hidden_dim = 8;
+    config.encoder.output_dim = 8;
+    config.decoder_hidden_dim = 8;
+    return HyGnnModel(featurizer->num_substructures(), config, &rng);
+  }
+
+  /// The checkpoint-relevant TrainConfig: mini-batching (the RNG is
+  /// consumed every epoch) plus a validation fold (early-stop counters
+  /// must survive the round trip).
+  TrainConfig MakeConfig(int32_t epochs) const {
+    TrainConfig config;
+    config.epochs = epochs;
+    config.batch_size = 64;
+    config.validation_fraction = 0.25;
+    config.seed = 7;
+    config.checkpoint_backoff_ms = 0;
+    return config;
+  }
+
+  std::unique_ptr<data::DdiDataset> dataset;
+  std::unique_ptr<data::SubstructureFeaturizer> featurizer;
+  std::unique_ptr<HypergraphContext> context;
+  std::vector<data::LabeledPair> pairs;
+};
+
+std::vector<float> FlattenWeights(const HyGnnModel& model) {
+  std::vector<float> flat;
+  for (const auto& p : model.Parameters()) {
+    flat.insert(flat.end(), p.data(), p.data() + p.size());
+  }
+  return flat;
+}
+
+bool BitIdentical(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+TEST(TrainCheckpointTest, RoundTripsEveryFieldBitExact) {
+  TrainCheckpoint ckpt;
+  ckpt.next_epoch = 17;
+  ckpt.epoch_losses = {0.9f, 0.5f, 0.30000001f};
+  ckpt.best_val_loss = 0.42f;
+  ckpt.epochs_since_improvement = 3;
+  core::Rng rng(99);
+  rng.Normal();  // park a Box-Muller spare in the state
+  ckpt.rng = rng.state();
+  ckpt.adam.step = 51;
+  ckpt.adam.m = {{0.125f, -2.5f}, {1e-9f}};
+  ckpt.adam.v = {{0.0625f, 6.25f}, {1e-18f}};
+  ckpt.weights.emplace_back("param0",
+                            tensor::Tensor::Full(2, 2, 0.7071f));
+
+  const std::string path =
+      CheckpointPath(TempDirPath("ckpt_roundtrip"));
+  ASSERT_TRUE(ckpt.Save(path, /*attempts=*/1, /*backoff_ms=*/0).ok());
+  auto loaded = TrainCheckpoint::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const TrainCheckpoint& got = loaded.value();
+
+  EXPECT_EQ(got.next_epoch, 17);
+  ASSERT_EQ(got.epoch_losses.size(), 3u);
+  EXPECT_EQ(std::memcmp(got.epoch_losses.data(), ckpt.epoch_losses.data(),
+                        3 * sizeof(float)),
+            0);
+  EXPECT_EQ(got.best_val_loss, 0.42f);
+  EXPECT_EQ(got.epochs_since_improvement, 3);
+  EXPECT_EQ(got.rng.s, ckpt.rng.s);
+  EXPECT_EQ(got.rng.has_cached_normal, ckpt.rng.has_cached_normal);
+  EXPECT_EQ(got.rng.cached_normal, ckpt.rng.cached_normal);
+  // Adam: step and both moments, element-for-element.
+  EXPECT_EQ(got.adam.step, 51);
+  ASSERT_EQ(got.adam.m.size(), 2u);
+  ASSERT_EQ(got.adam.v.size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(got.adam.m[i], ckpt.adam.m[i]) << "m[" << i << "]";
+    EXPECT_EQ(got.adam.v[i], ckpt.adam.v[i]) << "v[" << i << "]";
+  }
+  ASSERT_EQ(got.weights.size(), 1u);
+  EXPECT_EQ(got.weights[0].first, "param0");
+  EXPECT_EQ(got.weights[0].second.At(1, 1), 0.7071f);
+
+  // The restored RNG stream continues exactly where the original does.
+  core::Rng resumed(0);
+  resumed.set_state(got.rng);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(resumed.Next(), rng.Next());
+}
+
+TEST(TrainCheckpointTest, LoadRejectsCorruptAndTornFiles) {
+  const std::string dir = TempDirPath("ckpt_corrupt");
+  const std::string path = CheckpointPath(dir);
+  TrainCheckpoint ckpt;
+  ckpt.weights.emplace_back("w", tensor::Tensor::Full(1, 1, 1.0f));
+  ASSERT_TRUE(ckpt.Save(path, 1, 0).ok());
+
+  auto raw = core::PosixFs().ReadFile(path);
+  ASSERT_TRUE(raw.ok());
+
+  // Torn: last bytes never made it to disk.
+  std::string torn = raw.value().substr(0, raw.value().size() - 10);
+  ASSERT_TRUE(core::WriteFileAtomic(core::PosixFs(), path, torn).ok());
+  EXPECT_FALSE(TrainCheckpoint::Load(path).ok());
+
+  // Corrupt: one payload byte flipped under an intact footer.
+  std::string corrupt = raw.value();
+  corrupt[8] ^= 0x10;
+  ASSERT_TRUE(core::WriteFileAtomic(core::PosixFs(), path, corrupt).ok());
+  auto loaded = TrainCheckpoint::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("checksum mismatch"),
+            std::string::npos);
+}
+
+TEST(TrainCheckpointTest, KillAndResumeIsBitIdenticalToStraightRun) {
+  TinyPipeline pipeline;
+  constexpr int32_t kTotal = 8;
+  constexpr int32_t kKillAfter = 4;
+
+  // Reference: one uninterrupted run.
+  HyGnnModel straight = pipeline.MakeModel();
+  HyGnnTrainer straight_trainer(&straight, pipeline.MakeConfig(kTotal));
+  straight_trainer.Fit(*pipeline.context, pipeline.pairs);
+
+  // "Killed" run: stop at epoch kKillAfter with a checkpoint on disk...
+  const std::string dir = TempDirPath("ckpt_resume");
+  HyGnnModel killed = pipeline.MakeModel();
+  TrainConfig first_half = pipeline.MakeConfig(kKillAfter);
+  first_half.checkpoint_dir = dir;
+  HyGnnTrainer killed_trainer(&killed, first_half);
+  killed_trainer.Fit(*pipeline.context, pipeline.pairs);
+
+  // ...then restart from scratch objects and resume.
+  HyGnnModel resumed = pipeline.MakeModel();
+  TrainConfig second_half = pipeline.MakeConfig(kTotal);
+  second_half.checkpoint_dir = dir;
+  second_half.resume = true;
+  HyGnnTrainer resumed_trainer(&resumed, second_half);
+  resumed_trainer.Fit(*pipeline.context, pipeline.pairs);
+
+  // Loss history: same length, byte-for-byte equal.
+  const auto& ref_losses = straight_trainer.epoch_losses();
+  const auto& res_losses = resumed_trainer.epoch_losses();
+  ASSERT_EQ(res_losses.size(), ref_losses.size());
+  EXPECT_EQ(std::memcmp(res_losses.data(), ref_losses.data(),
+                        ref_losses.size() * sizeof(float)),
+            0);
+
+  // Weights: bit-identical to the run that never stopped.
+  EXPECT_TRUE(
+      BitIdentical(FlattenWeights(straight), FlattenWeights(resumed)));
+}
+
+TEST(TrainCheckpointTest, ResumeWithMissingCheckpointStartsFresh) {
+  TinyPipeline pipeline;
+  HyGnnModel model = pipeline.MakeModel();
+  TrainConfig config = pipeline.MakeConfig(3);
+  config.checkpoint_dir = TempDirPath("ckpt_fresh");
+  config.resume = true;  // nothing there yet — must not be an error
+  HyGnnTrainer trainer(&model, config);
+  auto result = trainer.TryFit(*pipeline.context, pipeline.pairs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(trainer.epoch_losses().size(), 3u);
+}
+
+TEST(TrainCheckpointTest, ResumeFromCorruptCheckpointIsTypedError) {
+  TinyPipeline pipeline;
+  const std::string dir = TempDirPath("ckpt_badresume");
+  ASSERT_TRUE(core::WriteFileAtomic(core::PosixFs(),
+                                    CheckpointPath(dir),
+                                    "garbage, not a checkpoint")
+                  .ok());
+  HyGnnModel model = pipeline.MakeModel();
+  TrainConfig config = pipeline.MakeConfig(3);
+  config.checkpoint_dir = dir;
+  config.resume = true;
+  HyGnnTrainer trainer(&model, config);
+  auto result = trainer.TryFit(*pipeline.context, pipeline.pairs);
+  // Never silently restart over work the caller believes is saved.
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(TrainCheckpointTest, ResumeWithoutCheckpointDirIsTypedError) {
+  TinyPipeline pipeline;
+  HyGnnModel model = pipeline.MakeModel();
+  TrainConfig config = pipeline.MakeConfig(2);
+  config.resume = true;  // but no checkpoint_dir
+  HyGnnTrainer trainer(&model, config);
+  auto result = trainer.TryFit(*pipeline.context, pipeline.pairs);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), core::StatusCode::kInvalidArgument);
+}
+
+TEST(TrainCheckpointTest, FailedCheckpointWritesDoNotKillTraining) {
+  TinyPipeline pipeline;
+  HyGnnModel model = pipeline.MakeModel();
+  TrainConfig config = pipeline.MakeConfig(3);
+  config.checkpoint_dir = TempDirPath("ckpt_deaddisk");
+  config.checkpoint_write_attempts = 1;
+  HyGnnTrainer trainer(&model, config);
+
+  core::FaultInjectingFs faulty(&core::PosixFs());
+  faulty.FailAllAppends(true);  // every checkpoint write dies
+  core::ScopedFileSystem scoped(&faulty);
+  auto result = trainer.TryFit(*pipeline.context, pipeline.pairs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(trainer.epoch_losses().size(), 3u);
+  EXPECT_FALSE(
+      core::PosixFs().Exists(CheckpointPath(config.checkpoint_dir)));
+}
+
+TEST(TrainCheckpointTest, CheckpointEveryStillWritesFinalEpoch) {
+  TinyPipeline pipeline;
+  HyGnnModel model = pipeline.MakeModel();
+  TrainConfig config = pipeline.MakeConfig(7);
+  config.checkpoint_dir = TempDirPath("ckpt_interval");
+  config.checkpoint_every = 3;  // 7 is not a multiple — final epoch wins
+  HyGnnTrainer trainer(&model, config);
+  trainer.Fit(*pipeline.context, pipeline.pairs);
+  auto ckpt =
+      TrainCheckpoint::Load(CheckpointPath(config.checkpoint_dir));
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+  EXPECT_EQ(ckpt.value().next_epoch, 7);
+  EXPECT_EQ(ckpt.value().epoch_losses.size(), 7u);
+  // Full-batch would take 1 Adam step per epoch; mini-batching takes
+  // several — either way the step count is positive and persisted.
+  EXPECT_GT(ckpt.value().adam.step, 0);
+}
+
+}  // namespace
+}  // namespace hygnn::model

@@ -36,6 +36,7 @@ TEST(StatusTest, AllCodesHaveNames) {
                "FailedPrecondition");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
   EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAlreadyExists), "AlreadyExists");
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -161,6 +162,23 @@ TEST(RngTest, ForkIndependent) {
   EXPECT_NE(fork.Next(), rng.Next());
 }
 
+TEST(RngTest, StateRoundTripContinuesStreamBitExact) {
+  Rng rng(123);
+  for (int i = 0; i < 7; ++i) rng.Next();
+  rng.Normal();  // leaves a cached Box-Muller spare in the state
+  const Rng::State snapshot = rng.state();
+
+  Rng resumed(0);  // different seed: state() must fully overwrite it
+  resumed.set_state(snapshot);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(resumed.Next(), rng.Next());
+  // The spare normal is part of the state too.
+  Rng a(456), b(0);
+  a.Normal();
+  b.set_state(a.state());
+  EXPECT_EQ(a.Normal(), b.Normal());
+  EXPECT_EQ(a.Uniform(), b.Uniform());
+}
+
 // ---------- string_util ----------
 
 TEST(StringUtilTest, SplitBasic) {
@@ -236,6 +254,19 @@ TEST(FlagParserTest, DoubleValues) {
   FlagParser parser;
   ASSERT_TRUE(parser.Parse(2, argv).ok());
   EXPECT_DOUBLE_EQ(parser.GetDouble("rate", 0.0), 0.25);
+}
+
+TEST(FlagParserTest, RequireKnownNamesTheStranger) {
+  const char* argv[] = {"prog", "--epochs", "5", "--resme"};
+  FlagParser parser;
+  ASSERT_TRUE(parser.Parse(4, argv).ok());
+  EXPECT_TRUE(parser.RequireKnown({"epochs", "resme"}).ok());
+  // A typo'd flag (--resme for --resume) must fail loudly, not be
+  // silently ignored.
+  auto status = parser.RequireKnown({"epochs", "resume"});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("--resme"), std::string::npos);
 }
 
 TEST(EnvFlagTest, ParsesTruthyFalsyAndFallsBack) {

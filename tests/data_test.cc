@@ -1,10 +1,12 @@
 #include <cstdio>
 #include <set>
+#include <string>
 #include <unordered_set>
 
 #include <gtest/gtest.h>
 
 #include "chem/smiles.h"
+#include "core/fs.h"
 #include "data/featurize.h"
 #include "data/generator.h"
 #include "data/io.h"
@@ -331,6 +333,93 @@ TEST(IoTest, PairsCsvRoundTrip) {
 TEST(IoTest, ReadMissingFileFails) {
   EXPECT_FALSE(ReadDrugsCsv("/nonexistent/nope.csv").ok());
   EXPECT_FALSE(ReadPairsCsv("/nonexistent/nope.csv").ok());
+}
+
+/// Blesses `content` with the #crc32 trailer and writes it, so the
+/// malformed-input tests exercise the parser rather than the checksum.
+std::string WriteBlessedCsv(const std::string& name, std::string content) {
+  AppendCsvIntegrityFooter(&content);
+  const std::string path = ::testing::TempDir() + "/" + name;
+  EXPECT_TRUE(
+      core::WriteFileAtomic(core::PosixFs(), path, content).ok());
+  return path;
+}
+
+TEST(IoTest, MalformedPairRowsNameTheLine) {
+  struct Case {
+    const char* rows;
+    const char* expect_in_message;
+  };
+  // Header is line 1; the corpus puts one good row on line 2 and the
+  // malformed row on line 3.
+  const Case cases[] = {
+      {"0,1,1\nx,2,0\n", "malformed drug_a index \"x\""},
+      {"0,1,1\n2,twelve,0\n", "malformed drug_b index \"twelve\""},
+      {"0,1,1\n2,3,maybe\n", "malformed label \"maybe\""},
+      {"0,1,1\n2,3,inf\n", "malformed label"},
+      {"0,1,1\n-4,3,1\n", "malformed drug_a index \"-4\""},
+      {"0,1,1\n99999999999,3,1\n", "malformed drug_a index"},
+      {"0,1,1\n2,3\n", "expected 3 fields"},
+      {"0,1,1\n2,3,1,0\n", "expected 3 fields"},
+  };
+  for (const Case& c : cases) {
+    const std::string path = WriteBlessedCsv(
+        "malformed_pairs.csv", std::string("drug_a,drug_b,label\n") + c.rows);
+    auto loaded = ReadPairsCsv(path);
+    ASSERT_FALSE(loaded.ok()) << c.rows;
+    EXPECT_EQ(loaded.status().code(), core::StatusCode::kInvalidArgument)
+        << c.rows;
+    EXPECT_NE(loaded.status().message().find(":3: "), std::string::npos)
+        << "message should name line 3: " << loaded.status().message();
+    EXPECT_NE(loaded.status().message().find(c.expect_in_message),
+              std::string::npos)
+        << loaded.status().message();
+  }
+}
+
+TEST(IoTest, MalformedDrugRowsNameTheLine) {
+  const std::string header = "index,drugbank_id,name,smiles\n";
+  const std::string path = WriteBlessedCsv(
+      "malformed_drugs.csv", header + "0,DB1,Alpha,CC\nseven,DB2,Beta,CO\n");
+  auto loaded = ReadDrugsCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find(":3: "), std::string::npos)
+      << loaded.status().message();
+  EXPECT_NE(loaded.status().message().find("drug index"), std::string::npos);
+
+  const std::string short_path = WriteBlessedCsv(
+      "short_drugs.csv", header + "0,DB1,Alpha\n");
+  auto short_row = ReadDrugsCsv(short_path);
+  ASSERT_FALSE(short_row.ok());
+  EXPECT_NE(short_row.status().message().find("expected 4 fields"),
+            std::string::npos);
+}
+
+TEST(IoTest, CsvWithoutIntegrityTrailerIsRejected) {
+  // An externally-produced CSV (no trailer) can't be distinguished from
+  // a file torn at a line boundary, so the readers refuse it and point
+  // at the adoption path.
+  const std::string path = ::testing::TempDir() + "/no_trailer.csv";
+  ASSERT_TRUE(core::WriteFileAtomic(core::PosixFs(), path,
+                                    "drug_a,drug_b,label\n0,1,1\n")
+                  .ok());
+  auto loaded = ReadPairsCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), core::StatusCode::kFailedPrecondition);
+  EXPECT_NE(loaded.status().message().find("#crc32"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("AppendCsvIntegrityFooter"),
+            std::string::npos);
+}
+
+TEST(IoTest, ValidatePairsNamesOffendingPair) {
+  const std::vector<LabeledPair> pairs{{0, 1, 1.0f}, {5, 1, 0.0f}};
+  EXPECT_TRUE(ValidatePairs(pairs, 6).ok());
+  auto status = ValidatePairs(pairs, 3);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), core::StatusCode::kOutOfRange);
+  EXPECT_NE(status.message().find("pair 1"), std::string::npos);
+  EXPECT_NE(status.message().find("5"), std::string::npos);
+  EXPECT_NE(status.message().find("3"), std::string::npos);
 }
 
 }  // namespace

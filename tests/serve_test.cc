@@ -1,10 +1,13 @@
+#include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/fs.h"
 #include "core/thread_pool.h"
 #include "data/featurize.h"
 #include "data/generator.h"
@@ -133,12 +136,22 @@ TEST_F(ServeTest, LoadRejectsVersionSkewNamingBothVersions) {
   const auto model = MakeModel();
   const std::string path = TempPath("skew.hygb");
   ASSERT_TRUE(model.Save(path, featurizer_->vocabulary()).ok());
-  // Patch the u32 version field right after the 4-byte magic.
-  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
-  file.seekp(4);
+  // Patch the u32 version field right after the 4-byte magic, then
+  // re-bless the integrity footer so Load trips on the skew itself,
+  // not on the checksum.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  auto payload = core::StripIntegrityFooter(bytes);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  std::string patched(payload.value());
   const uint32_t bogus = 99;
-  file.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
-  file.close();
+  std::memcpy(patched.data() + 4, &bogus, sizeof(bogus));
+  core::AppendIntegrityFooter(&patched);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(patched.data(), static_cast<std::streamsize>(patched.size()));
+  out.close();
   auto loaded = ModelBundle::Load(path);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), core::StatusCode::kFailedPrecondition);
@@ -332,6 +345,107 @@ TEST_F(ServeTest, AddDrugRejectsMultiLayerEncoders) {
   ASSERT_FALSE(added.ok());
   EXPECT_EQ(added.status().code(),
             core::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeTest, LoadRejectsTornWrite) {
+  const auto model = MakeModel();
+  const std::string path = TempPath("torn.hygb");
+  // A torn write: the rename commits but the tail of the payload never
+  // made it to disk. The CRC footer is what catches this.
+  core::FaultInjectingFs faulty(&core::PosixFs());
+  faulty.TruncateClosesBy(32);
+  {
+    core::ScopedFileSystem scoped(&faulty);
+    ASSERT_TRUE(model.Save(path, featurizer_->vocabulary()).ok());
+  }
+  auto loaded = ModelBundle::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), core::StatusCode::kIoError);
+}
+
+TEST_F(ServeTest, LoadRejectsBadChecksum) {
+  const auto model = MakeModel();
+  const std::string path = TempPath("corrupt.hygb");
+  ASSERT_TRUE(model.Save(path, featurizer_->vocabulary()).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  // Flip one payload byte past the header: the footer checksum no
+  // longer matches and Load must refuse.
+  bytes[bytes.size() / 2] ^= 0x40;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  auto loaded = ModelBundle::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("checksum mismatch"),
+            std::string::npos);
+}
+
+TEST_F(ServeTest, SaveCrashMidWritePreservesOldBundle) {
+  const auto model = MakeModel();
+  const auto other = MakeModel(/*seed=*/500);
+  const std::string path = TempPath("durable.hygb");
+  ASSERT_TRUE(model.Save(path, featurizer_->vocabulary()).ok());
+
+  // Crash the replacement write: the injected failure happens before
+  // rename, so the original bundle must survive untouched.
+  core::FaultInjectingFs faulty(&core::PosixFs());
+  faulty.FailNthAppend(1, /*enospc=*/true);
+  {
+    core::ScopedFileSystem scoped(&faulty);
+    auto status = other.Save(path, featurizer_->vocabulary());
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("ENOSPC"), std::string::npos);
+  }
+  auto loaded = ModelBundle::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+}
+
+TEST_F(ServeTest, AddDrugNamedRejectsDuplicateIds) {
+  const auto model = MakeModel();
+  EmbeddingStore store(&model);
+  ASSERT_TRUE(store.Rebuild(*context_).ok());
+
+  auto first = store.AddDrugNamed("DB00001", {1, 2});
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto found = store.FindDrug("DB00001");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), first.value());
+
+  // Double submission: typed rejection, and the cache did not grow.
+  const int32_t drugs_before = store.num_drugs();
+  auto dup = store.AddDrugNamed("DB00001", {3});
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), core::StatusCode::kAlreadyExists);
+  EXPECT_NE(dup.status().message().find("DB00001"), std::string::npos);
+  EXPECT_EQ(store.num_drugs(), drugs_before);
+
+  EXPECT_FALSE(store.AddDrugNamed("", {1}).ok());
+
+  // Rebuild reassigns row ids, so the registry is cleared with them.
+  ASSERT_TRUE(store.Rebuild(*context_).ok());
+  auto gone = store.FindDrug("DB00001");
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), core::StatusCode::kNotFound);
+}
+
+TEST_F(ServeTest, AddDrugWithNoRecognizedSubstructuresDegradesGracefully) {
+  const auto model = MakeModel();
+  EmbeddingStore store(&model);
+  ASSERT_TRUE(store.Rebuild(*context_).ok());
+  // A named drug with zero recognized substructures still joins the
+  // catalog with a zero embedding instead of failing the request.
+  auto added = store.AddDrugNamed("DB99999", {});
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  const float* row = store.Row(added.value());
+  for (int64_t j = 0; j < store.dim(); ++j) EXPECT_EQ(row[j], 0.0f);
+  PairScorer scorer(&model, &store);
+  const std::vector<data::LabeledPair> query = {{0, added.value(), 0.0f}};
+  const auto scores = scorer.Score(query);
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_TRUE(std::isfinite(scores[0]));
 }
 
 }  // namespace
