@@ -9,10 +9,14 @@
 // per request dominates the cold path.
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/logging.h"
+#include "obs/metrics.h"
+#include "obs/optime.h"
+#include "obs/sink.h"
 #include "core/rng.h"
 #include "core/stopwatch.h"
 #include "data/featurize.h"
@@ -32,10 +36,20 @@ struct ServeBenchConfig {
   int32_t batch_pairs = 64;
   int32_t requests = 50;
   uint64_t seed = 42;
+  /// When non-empty, record serving metrics (per-stage latency
+  /// histograms, cache counters, per-op kernel times) during the bench
+  /// and flush them to this path as checksummed JSONL.
+  std::string metrics_out;
 };
 
 int RunServeBench(const ServeBenchConfig& config,
                   const std::string& json_path) {
+  obs::MetricsRecorder recorder(config.metrics_out);
+  std::optional<obs::ScopedMetricsEnabled> metrics_scope;
+  if (recorder.active()) {
+    metrics_scope.emplace(true);
+    obs::SetKernelTimingEnabled(true);
+  }
   data::DatasetConfig data_config;
   data_config.num_drugs = config.num_drugs;
   data_config.seed = config.seed;
@@ -162,6 +176,15 @@ int RunServeBench(const ServeBenchConfig& config,
                  "FAIL: cached scores are not bit-identical to cold\n");
     return 1;
   }
+  if (recorder.active()) {
+    obs::SetKernelTimingEnabled(false);
+    if (auto s = recorder.Flush(); !s.ok()) {
+      std::fprintf(stderr, "FAIL: metrics flush: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote metrics to %s\n", recorder.path().c_str());
+  }
   return 0;
 }
 
@@ -182,6 +205,9 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--requests=", 0) == 0) {
       config.requests =
           std::stoi(arg.substr(std::string("--requests=").size()));
+    } else if (arg.rfind("--metrics_out=", 0) == 0) {
+      config.metrics_out =
+          arg.substr(std::string("--metrics_out=").size());
     }
   }
   return hygnn::RunServeBench(config, json_path);

@@ -15,12 +15,20 @@
 //       [--resume]           # continue from d's checkpoint, bit-identical
 //                            # to a run that never stopped; starts fresh
 //                            # when no checkpoint exists yet
+//       [--metrics_out f]    # write training observability (per-epoch
+//                            # events, latency histograms, per-op kernel
+//                            # times) to f as checksummed JSONL; also via
+//                            # the HYGNN_METRICS env var. Never perturbs
+//                            # training — weights are bit-identical with
+//                            # the flag on or off
 //   hygnn_cli evaluate --drugs_csv drugs.csv --pairs_csv pairs.csv
 //       --mode espf --model model.bin
 //   hygnn_cli predict --drugs_csv drugs.csv --mode espf
 //       --model model.bin --a DB00003 --b DB00017
 //   hygnn_cli screen  --drugs_csv drugs.csv --mode espf
 //       --model model.bin --query DB00003 --top 10
+//       [--metrics_out f]    # serving-stage latency histograms, cache
+//                            # counters, per-op kernel times as JSONL
 //
 // `train` writes a self-describing model bundle (serve::ModelBundle):
 // config, substructure vocabulary, and weights in one file. The later
@@ -30,6 +38,7 @@
 // from the cached embedding store.
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -41,6 +50,9 @@
 #include "graph/builders.h"
 #include "hygnn/model.h"
 #include "hygnn/trainer.h"
+#include "obs/metrics.h"
+#include "obs/optime.h"
+#include "obs/sink.h"
 #include "serve/embedding_store.h"
 #include "serve/scoring.h"
 
@@ -150,7 +162,8 @@ int CmdTrain(const core::FlagParser& flags) {
   // run from scratch is exactly the failure mode --resume exists to stop.
   if (auto s = flags.RequireKnown(KnownFlags(
           {"pairs_csv", "seed", "epochs", "numerics_guard", "threads",
-           "model", "checkpoint_dir", "checkpoint_every", "resume"}));
+           "model", "checkpoint_dir", "checkpoint_every", "resume",
+           "metrics_out"}));
       !s.ok()) {
     return Fail(s);
   }
@@ -180,6 +193,7 @@ int CmdTrain(const core::FlagParser& flags) {
   train_config.checkpoint_every =
       static_cast<int32_t>(flags.GetInt("checkpoint_every", 1));
   train_config.resume = flags.GetBool("resume", false);
+  train_config.metrics_path = flags.GetString("metrics_out", "");
   model::HyGnnTrainer trainer(&hygnn, train_config);
   auto loss_or = trainer.TryFit(corpus.context, pairs_or.value());
   if (!loss_or.ok()) return Fail(loss_or.status());
@@ -264,9 +278,18 @@ int CmdPredict(const core::FlagParser& flags) {
 }
 
 int CmdScreen(const core::FlagParser& flags) {
-  if (auto s = flags.RequireKnown(KnownFlags({"model", "query", "top"}));
+  if (auto s = flags.RequireKnown(
+          KnownFlags({"model", "query", "top", "metrics_out"}));
       !s.ok()) {
     return Fail(s);
+  }
+  // Serving observability: per-stage latency histograms, cache
+  // counters, and per-op kernel times, flushed as checksummed JSONL.
+  obs::MetricsRecorder recorder(flags.GetString("metrics_out", ""));
+  std::optional<obs::ScopedMetricsEnabled> metrics_scope;
+  if (recorder.active()) {
+    metrics_scope.emplace(true);
+    obs::SetKernelTimingEnabled(true);
   }
   auto corpus_or = LoadCorpus(flags);
   if (!corpus_or.ok()) return Fail(corpus_or.status());
@@ -297,6 +320,11 @@ int CmdScreen(const core::FlagParser& flags) {
     const auto& drug = corpus.drugs[static_cast<size_t>(hit.drug)];
     std::printf("  %-10s %-20s %.4f\n", drug.drugbank_id.c_str(),
                 drug.name.c_str(), hit.score);
+  }
+  if (recorder.active()) {
+    obs::SetKernelTimingEnabled(false);
+    if (auto s = recorder.Flush(); !s.ok()) return Fail(s);
+    std::printf("wrote metrics to %s\n", recorder.path().c_str());
   }
   return 0;
 }

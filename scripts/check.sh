@@ -25,19 +25,22 @@ cmake --build --preset "${PRESET}" -j "${JOBS}"
 echo "== test (${PRESET}) =="
 ctest --preset "${PRESET}" -j "${JOBS}"
 
-# The thread-pool kernels and the serving engine (batched PairScorer
-# chunks score on pool workers) are the concurrent code in the repo, so
-# their tests always get a ThreadSanitizer pass, whatever preset the
-# main suite ran under. Binaries are run directly (not via ctest) so a
-# targeted build suffices.
+# The thread-pool kernels, the serving engine (batched PairScorer
+# chunks score on pool workers), and the obs layer (kernel-timer slot
+# table aggregates spans from pool workers with relaxed atomics) are the
+# concurrent code in the repo, so their tests always get a
+# ThreadSanitizer pass, whatever preset the main suite ran under.
+# Binaries are run directly (not via ctest) so a targeted build
+# suffices.
 if [[ "${PRESET}" != "tsan" ]]; then
   echo "== threaded tests (tsan) =="
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "${JOBS}" \
-    --target thread_pool_test kernels_test serve_test
+    --target thread_pool_test kernels_test serve_test obs_test
   HYGNN_NUM_THREADS=4 build-tsan/tests/thread_pool_test
   HYGNN_NUM_THREADS=4 build-tsan/tests/kernels_test
   HYGNN_NUM_THREADS=4 build-tsan/tests/serve_test
+  HYGNN_NUM_THREADS=4 build-tsan/tests/obs_test
 fi
 
 # Durability tests (fault-injected crash-consistency + bit-identical
@@ -50,9 +53,10 @@ if [[ "${PRESET}" != "asan-ubsan" ]]; then
   echo "== durability tests (asan-ubsan) =="
   cmake --preset asan-ubsan >/dev/null
   cmake --build --preset asan-ubsan -j "${JOBS}" \
-    --target fs_fault_test checkpoint_test
+    --target fs_fault_test checkpoint_test obs_test
   build-asan-ubsan/tests/fs_fault_test
   build-asan-ubsan/tests/checkpoint_test
+  build-asan-ubsan/tests/obs_test
 fi
 
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -14,6 +14,10 @@ Checks, over *tracked* files only (git ls-files):
      src/data/ — persistence there must go through core::FileSystem
      (src/core/fs.h) so fault injection and the durable-write protocol
      (temp + fsync + rename + checksum footer) cover every byte on disk
+  8. no ad-hoc core::Stopwatch timing under src/hygnn/ or src/serve/ —
+     hot-path timing there must go through the observability layer
+     (obs::Timer / obs::ScopedTimer, src/obs/metrics.h) so every sample
+     lands in the shared registry instead of a one-off log line
 
 Exits 0 when clean, 1 with one line per violation otherwise.
 """
@@ -50,6 +54,14 @@ RAW_FILE_STREAM = re.compile(
 # a raw stream bypasses fault injection, the atomic temp+fsync+rename
 # protocol, and checksum footers, so a crash there can tear files.
 NO_RAW_STREAM_DIRS = ("src/serve/", "src/data/")
+
+RAW_STOPWATCH = re.compile(
+    r"\bStopwatch\b|#\s*include\s*\"core/stopwatch\.h\"")
+
+# Directories whose timing must route through the obs layer: an ad-hoc
+# Stopwatch produces a measurement no registry snapshot, histogram, or
+# metrics file ever sees.
+NO_STOPWATCH_DIRS = ("src/hygnn/", "src/serve/")
 
 
 def tracked_files():
@@ -133,6 +145,16 @@ def check_no_raw_loops(path, text, problems):
                 "compute into src/tensor/kernels/ and call the kernel")
 
 
+def check_no_stopwatch(path, text, problems):
+    for i, line in enumerate(text.splitlines(), 1):
+        code = LINE_COMMENT.sub("", line)
+        if RAW_STOPWATCH.search(code):
+            problems.append(
+                f"{path}:{i}: ad-hoc core::Stopwatch timing — use "
+                "obs::Timer / obs::ScopedTimer (src/obs/metrics.h) so the "
+                "sample reaches the metrics registry")
+
+
 def check_no_raw_file_streams(path, text, problems):
     for i, line in enumerate(text.splitlines(), 1):
         code = LINE_COMMENT.sub("", line)
@@ -192,6 +214,8 @@ def main():
             check_no_raw_loops(path, text, problems)
         if path.startswith(NO_RAW_STREAM_DIRS):
             check_no_raw_file_streams(path, text, problems)
+        if path.startswith(NO_STOPWATCH_DIRS):
+            check_no_stopwatch(path, text, problems)
 
     if problems:
         for problem in problems:

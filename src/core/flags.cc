@@ -86,4 +86,9 @@ int64_t EnvInt(const std::string& name, int64_t fallback) {
   return (end == raw || *end != '\0') ? fallback : value;
 }
 
+std::string EnvString(const std::string& name, const std::string& fallback) {
+  const char* raw = std::getenv(name.c_str());
+  return (raw == nullptr || *raw == '\0') ? fallback : std::string(raw);
+}
+
 }  // namespace hygnn::core

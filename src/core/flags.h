@@ -55,6 +55,11 @@ bool EnvFlag(const std::string& name, bool fallback);
 /// that carry a count rather than a switch (e.g. HYGNN_NUM_THREADS).
 int64_t EnvInt(const std::string& name, int64_t fallback);
 
+/// Reads a string from the process environment. Unset or empty values
+/// yield `fallback`. Used for path-valued knobs such as HYGNN_METRICS
+/// (the metrics JSONL output path).
+std::string EnvString(const std::string& name, const std::string& fallback);
+
 }  // namespace hygnn::core
 
 #endif  // HYGNN_CORE_FLAGS_H_

@@ -14,7 +14,9 @@ using core::Status;
 namespace {
 
 constexpr char kCheckpointMagic[4] = {'H', 'Y', 'G', 'C'};
-constexpr uint32_t kCheckpointVersion = 1;
+// v2 added the stopping section's val losses, best_epoch, and the
+// best-epoch weight snapshot (early-stop restore across resume).
+constexpr uint32_t kCheckpointVersion = 2;
 
 /// Largest per-parameter moment vector Load will believe; anything
 /// bigger means a corrupt length field, not a model.
@@ -68,6 +70,10 @@ Status TrainCheckpoint::Save(const std::string& path, int attempts,
   WriteFloatVector(out, epoch_losses);
   WritePod(out, best_val_loss);
   WritePod(out, epochs_since_improvement);
+  WriteFloatVector(out, val_losses);
+  WritePod(out, best_epoch);
+  WritePod(out, static_cast<uint64_t>(best_weights.size()));
+  for (const auto& weights : best_weights) WriteFloatVector(out, weights);
   for (uint64_t word : rng.s) WritePod(out, word);
   WritePod(out, static_cast<uint8_t>(rng.has_cached_normal ? 1 : 0));
   WritePod(out, rng.cached_normal);
@@ -117,6 +123,23 @@ Result<TrainCheckpoint> TrainCheckpoint::Load(const std::string& path) {
   if (!ReadPod(in, &ckpt.best_val_loss) ||
       !ReadPod(in, &ckpt.epochs_since_improvement)) {
     return Status::IoError("truncated checkpoint stopping state: " + path);
+  }
+  if (auto status = ReadFloatVector(in, &ckpt.val_losses, "val loss history");
+      !status.ok()) {
+    return Status(status.code(), status.message() + ": " + path);
+  }
+  uint64_t num_best = 0;
+  if (!ReadPod(in, &ckpt.best_epoch) || !ReadPod(in, &num_best) ||
+      ckpt.best_epoch < -1 || num_best > (1u << 20)) {
+    return Status::IoError("corrupt checkpoint best-weights header: " + path);
+  }
+  ckpt.best_weights.resize(static_cast<size_t>(num_best));
+  for (uint64_t i = 0; i < num_best; ++i) {
+    if (auto status = ReadFloatVector(in, &ckpt.best_weights[i],
+                                      "best-epoch weights");
+        !status.ok()) {
+      return Status(status.code(), status.message() + ": " + path);
+    }
   }
   uint8_t has_cached_normal = 0;
   for (uint64_t& word : ckpt.rng.s) {

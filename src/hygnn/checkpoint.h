@@ -24,9 +24,11 @@ namespace hygnn::model {
 ///
 ///   | section  | contents                                             |
 ///   |----------|------------------------------------------------------|
-///   | header   | magic "HYGC", u32 format version                     |
+///   | header   | magic "HYGC", u32 format version (2)                 |
 ///   | progress | i32 next_epoch, f32 losses of completed epochs       |
-///   | stopping | f32 best_val_loss, i32 epochs_since_improvement      |
+///   | stopping | f32 best_val_loss, i32 epochs_since_improvement,     |
+///   |          | f32 val losses, i32 best_epoch, per-parameter        |
+///   |          | best-epoch weight vectors (possibly zero of them)    |
 ///   | rng      | 4 x u64 xoshiro words, u8 flag, f64 cached normal    |
 ///   | adam     | i64 step, then per-parameter m and v float vectors   |
 ///   | weights  | named tensor table (tensor/serialize "HYGT" section) |
@@ -34,12 +36,21 @@ struct TrainCheckpoint {
   /// First epoch index the resumed run should execute (= number of
   /// completed epochs).
   int32_t next_epoch = 0;
-  /// Training loss of every completed epoch, in order.
+  /// Batch-weighted mean training loss of every completed epoch.
   std::vector<float> epoch_losses;
   /// Early-stopping state. best_val_loss is +inf when no validation
   /// fold is configured.
   float best_val_loss = 0.0f;
   int32_t epochs_since_improvement = 0;
+  /// Validation loss of every completed epoch (empty without a fold).
+  std::vector<float> val_losses;
+  /// Epoch with the lowest validation loss so far; -1 when none.
+  int32_t best_epoch = -1;
+  /// Snapshot of the model weights at `best_epoch`, one flat vector per
+  /// parameter in Parameters() order (empty when no epoch has improved
+  /// yet). Restored on early stop so a resumed run that stops early
+  /// evaluates with exactly the weights the uninterrupted run would.
+  std::vector<std::vector<float>> best_weights;
   /// The trainer's RNG stream at the epoch boundary.
   core::Rng::State rng;
   /// Adam step count and both moment vectors.

@@ -11,6 +11,9 @@
 #include "core/rng.h"
 #include "core/thread_pool.h"
 #include "hygnn/checkpoint.h"
+#include "obs/metrics.h"
+#include "obs/optime.h"
+#include "obs/sink.h"
 #include "tensor/debug.h"
 #include "tensor/loss.h"
 #include "tensor/optimizer.h"
@@ -49,6 +52,10 @@ core::Result<float> HyGnnTrainer::TryFit(
     const std::vector<data::LabeledPair>& train_pairs) {
   HYGNN_CHECK(!train_pairs.empty());
   epoch_losses_.clear();
+  val_losses_.clear();
+  last_batch_loss_ = 0.0f;
+  best_epoch_ = -1;
+  early_stopped_ = false;
   // Kernel thread count: an explicit config wins; 0 leaves the global
   // pool as-is (HYGNN_NUM_THREADS or a prior SetNumThreads call).
   if (config_.threads > 0) core::SetNumThreads(config_.threads);
@@ -84,6 +91,11 @@ core::Result<float> HyGnnTrainer::TryFit(
   float best_val_loss = std::numeric_limits<float>::infinity();
   int32_t epochs_since_improvement = 0;
   int32_t start_epoch = 0;
+  // Weights at the best-validation epoch, one flat vector per parameter
+  // in Parameters() order; empty until the first improvement. Early
+  // stopping restores these — without the snapshot the trainer would
+  // hand back the weights of `patience` consecutive *worse* epochs.
+  std::vector<std::vector<float>> best_weights;
 
   // Checkpointing. The validation split above was re-derived
   // deterministically from the seed, so on resume it is identical to the
@@ -124,6 +136,9 @@ core::Result<float> HyGnnTrainer::TryFit(
       if (!epoch_losses_.empty()) last_loss = epoch_losses_.back();
       best_val_loss = ckpt.best_val_loss;
       epochs_since_improvement = ckpt.epochs_since_improvement;
+      val_losses_ = ckpt.val_losses;
+      best_epoch_ = ckpt.best_epoch;
+      best_weights = std::move(ckpt.best_weights);
       start_epoch = ckpt.next_epoch;
       if (config_.verbose) {
         HYGNN_LOG(Info) << "resumed from " << ckpt_path << " at epoch "
@@ -137,7 +152,36 @@ core::Result<float> HyGnnTrainer::TryFit(
     }
   }
 
+  // Observability. The recorder is inert when no metrics path is
+  // configured (an explicit config wins over the HYGNN_METRICS
+  // environment variable), and every gate below is a null check, so the
+  // uninstrumented path costs one relaxed load per site. Recording is
+  // passive: weights and losses are bit-identical with metrics on or
+  // off (ObsTest.MetricsDoNotPerturbTraining pins this).
+  const std::string metrics_path = !config_.metrics_path.empty()
+                                       ? config_.metrics_path
+                                       : core::EnvString("HYGNN_METRICS", "");
+  obs::MetricsRecorder recorder(metrics_path);
+  std::optional<obs::ScopedMetricsEnabled> metrics_scope;
+  const bool previous_timing = obs::KernelTimingEnabled();
+  obs::Histogram* epoch_hist = nullptr;
+  obs::Histogram* ckpt_hist = nullptr;
+  obs::Counter* ckpt_failures = nullptr;
+  obs::Counter* batches_counter = nullptr;
+  if (recorder.active()) {
+    metrics_scope.emplace(true);
+    obs::SetKernelTimingEnabled(true);
+    auto& registry = obs::MetricsRegistry::Global();
+    epoch_hist = registry.GetHistogram("train.epoch_us");
+    ckpt_hist = registry.GetHistogram("train.checkpoint_write_us");
+    ckpt_failures = registry.GetCounter("train.checkpoint_failures");
+    batches_counter = registry.GetCounter("train.batches");
+  }
+
   for (int32_t epoch = start_epoch; epoch < config_.epochs; ++epoch) {
+    obs::Timer epoch_timer;
+    double grad_norm_sum = 0.0;
+    size_t grad_norm_samples = 0;
     if (config_.batch_size > 0) {
       // Each epoch's batch order must be a pure function of the canonical
       // post-split order and this epoch's RNG draws. Shuffling `train` in
@@ -147,8 +191,13 @@ core::Result<float> HyGnnTrainer::TryFit(
       std::vector<size_t> order(train.size());
       std::iota(order.begin(), order.end(), size_t{0});
       rng.Shuffle(order);
-      float epoch_loss = 0.0f;
-      size_t batches = 0;
+      // Example-weighted mean: train.size() is rarely a multiple of the
+      // batch size, so the final batch is short — an unweighted mean
+      // over batch losses would overweight its examples. Accumulate in
+      // double so the mean does not drift with epoch length
+      // (TrainerFeaturesTest.EpochLossIsExampleWeightedMean).
+      double epoch_loss_sum = 0.0;
+      size_t epoch_examples = 0;
       for (size_t begin = 0; begin < train.size();
            begin += static_cast<size_t>(config_.batch_size)) {
         const size_t end = std::min(
@@ -162,15 +211,27 @@ core::Result<float> HyGnnTrainer::TryFit(
         tensor::Tensor loss =
             tensor::BceWithLogitsLoss(logits, LabelsOf(batch));
         loss.Backward();
+        float grad_norm = -1.0f;
         if (config_.grad_clip > 0.0f) {
-          optimizer.ClipGradNorm(config_.grad_clip);
+          grad_norm = optimizer.ClipGradNorm(config_.grad_clip);
+        } else if (recorder.active()) {
+          // GradNorm is read-only; only spend the pass when recording.
+          grad_norm = optimizer.GradNorm();
         }
         optimizer.Step();
-        epoch_loss += loss.item();
-        ++batches;
+        last_batch_loss_ = loss.item();
+        epoch_loss_sum += static_cast<double>(last_batch_loss_) *
+                          static_cast<double>(end - begin);
+        epoch_examples += end - begin;
+        if (batches_counter != nullptr) batches_counter->Add();
+        if (grad_norm >= 0.0f) {
+          grad_norm_sum += grad_norm;
+          ++grad_norm_samples;
+        }
         if (guard_numerics && tensor::NumericsGuard::triggered()) break;
       }
-      last_loss = epoch_loss / static_cast<float>(batches);
+      last_loss = static_cast<float>(epoch_loss_sum /
+                                     static_cast<double>(epoch_examples));
     } else {
       optimizer.ZeroGrad();
       tensor::Tensor logits =
@@ -178,11 +239,20 @@ core::Result<float> HyGnnTrainer::TryFit(
       tensor::Tensor loss =
           tensor::BceWithLogitsLoss(logits, LabelsOf(train));
       loss.Backward();
+      float grad_norm = -1.0f;
       if (config_.grad_clip > 0.0f) {
-        optimizer.ClipGradNorm(config_.grad_clip);
+        grad_norm = optimizer.ClipGradNorm(config_.grad_clip);
+      } else if (recorder.active()) {
+        grad_norm = optimizer.GradNorm();
       }
       optimizer.Step();
       last_loss = loss.item();
+      last_batch_loss_ = last_loss;
+      if (batches_counter != nullptr) batches_counter->Add();
+      if (grad_norm >= 0.0f) {
+        grad_norm_sum += grad_norm;
+        ++grad_norm_samples;
+      }
     }
     epoch_losses_.push_back(last_loss);
 
@@ -193,21 +263,65 @@ core::Result<float> HyGnnTrainer::TryFit(
       break;
     }
 
+    bool stop_early = false;
+    float val_loss = std::numeric_limits<float>::quiet_NaN();
     if (!validation.empty()) {
       tensor::Tensor val_logits =
           model_->Forward(context, validation, /*training=*/false, nullptr);
-      const float val_loss =
+      val_loss =
           tensor::BceWithLogitsLoss(val_logits, validation_labels).item();
+      val_losses_.push_back(val_loss);
       if (val_loss < best_val_loss - 1e-5f) {
         best_val_loss = val_loss;
         epochs_since_improvement = 0;
+        best_epoch_ = epoch;
+        // Snapshot the improving weights. Early stopping fires only
+        // after `patience` consecutive *worse* epochs, so without this
+        // snapshot the caller would be handed the stale final-epoch
+        // weights instead of the best-validation ones.
+        const auto parameters = model_->Parameters();
+        best_weights.assign(parameters.size(), {});
+        for (size_t i = 0; i < parameters.size(); ++i) {
+          best_weights[i].assign(parameters[i].data(),
+                                 parameters[i].data() + parameters[i].size());
+        }
       } else if (++epochs_since_improvement >= config_.patience) {
         if (config_.verbose) {
           HYGNN_LOG(Info) << "early stop at epoch " << epoch
                           << " (val loss " << val_loss << ")";
         }
-        break;
+        stop_early = true;
       }
+    }
+
+    const double epoch_ms = epoch_timer.ElapsedMillis();
+    if (epoch_hist != nullptr) epoch_hist->Observe(epoch_ms * 1e3);
+    if (recorder.active()) {
+      obs::JsonWriter event;
+      event.Str("type", "event").Str("event", "epoch").Int("epoch", epoch);
+      event.Num("wall_ms", epoch_ms);
+      event.Num("train_loss", last_loss);
+      event.Num("last_batch_loss", last_batch_loss_);
+      if (grad_norm_samples > 0) {
+        event.Num("grad_norm",
+                  grad_norm_sum / static_cast<double>(grad_norm_samples));
+      }
+      if (!validation.empty()) {
+        event.Num("val_loss", val_loss)
+            .Num("best_val_loss", best_val_loss)
+            .Int("best_epoch", best_epoch_);
+      }
+      recorder.Event(event.Finish());
+    }
+
+    if (stop_early) {
+      early_stopped_ = true;
+      // Break before the checkpoint block: an early-stopping epoch has
+      // never written a checkpoint (the resumed run re-derives the stop
+      // from the last interval's counters), and best_weights rides in
+      // every interval checkpoint so the re-derived stop restores the
+      // same weights.
+      break;
     }
     if (checkpointing &&
         ((epoch + 1) % std::max(1, config_.checkpoint_every) == 0 ||
@@ -217,6 +331,9 @@ core::Result<float> HyGnnTrainer::TryFit(
       ckpt.epoch_losses = epoch_losses_;
       ckpt.best_val_loss = best_val_loss;
       ckpt.epochs_since_improvement = epochs_since_improvement;
+      ckpt.val_losses = val_losses_;
+      ckpt.best_epoch = best_epoch_;
+      ckpt.best_weights = best_weights;
       ckpt.rng = rng.state();
       ckpt.adam = optimizer.ExportState();
       const auto parameters = model_->Parameters();
@@ -225,13 +342,17 @@ core::Result<float> HyGnnTrainer::TryFit(
         ckpt.weights.emplace_back("param" + std::to_string(i),
                                   parameters[i]);
       }
+      obs::Timer write_timer;
       if (auto status = ckpt.Save(ckpt_path, config_.checkpoint_write_attempts,
                                   config_.checkpoint_backoff_ms);
           !status.ok()) {
         // Graceful degradation: a run must not die because one
         // checkpoint write failed — the next interval tries again.
+        if (ckpt_failures != nullptr) ckpt_failures->Add();
         HYGNN_LOG(Warning) << "checkpoint write failed (training "
                               "continues): " << status.ToString();
+      } else if (ckpt_hist != nullptr) {
+        ckpt_hist->Observe(write_timer.ElapsedMicros());
       }
     }
     if (config_.verbose && (epoch % config_.log_every == 0 ||
@@ -239,6 +360,39 @@ core::Result<float> HyGnnTrainer::TryFit(
       HYGNN_LOG(Info) << "epoch " << epoch << " loss " << last_loss;
     }
   }
+
+  // Early stopping restores the best-validation weights: the stop fired
+  // because the last `patience` epochs were all worse than best_epoch_,
+  // so the model currently holds exactly the weights we do NOT want.
+  if (early_stopped_ && !best_weights.empty()) {
+    auto parameters = model_->Parameters();
+    HYGNN_CHECK_EQ(parameters.size(), best_weights.size());
+    for (size_t i = 0; i < parameters.size(); ++i) {
+      HYGNN_CHECK_EQ(static_cast<size_t>(parameters[i].size()),
+                     best_weights[i].size());
+      std::copy(best_weights[i].begin(), best_weights[i].end(),
+                parameters[i].data());
+    }
+    if (config_.verbose) {
+      HYGNN_LOG(Info) << "restored best-epoch weights (epoch " << best_epoch_
+                      << ", val loss " << best_val_loss << ")";
+    }
+  }
+
+  if (recorder.active()) {
+    obs::JsonWriter done;
+    done.Str("type", "event").Str("event", "train_done");
+    done.Int("epochs_run", static_cast<int64_t>(epoch_losses_.size()));
+    done.Int("early_stopped", early_stopped_ ? 1 : 0);
+    done.Int("best_epoch", best_epoch_);
+    done.Num("final_train_loss", last_loss);
+    recorder.Event(done.Finish());
+    if (auto status = recorder.Flush(); !status.ok()) {
+      // Metrics are best-effort: a failed flush must not fail training.
+      HYGNN_LOG(Warning) << "metrics flush failed: " << status.ToString();
+    }
+  }
+  obs::SetKernelTimingEnabled(previous_timing);
   return last_loss;
 }
 

@@ -62,6 +62,15 @@ struct TrainConfig {
   /// `checkpoint_backoff_ms`.
   int32_t checkpoint_write_attempts = 3;
   int32_t checkpoint_backoff_ms = 50;
+  /// When non-empty, TryFit records training observability — per-epoch
+  /// wall time, batch-weighted mean loss, validation loss, gradient
+  /// norm, checkpoint write latency/failures, and per-op kernel times —
+  /// and flushes it to this path as an atomic, checksummed JSONL file
+  /// (see src/obs and DESIGN.md §10). Also settable via the
+  /// HYGNN_METRICS environment variable (the config wins when both are
+  /// set). Metrics never perturb training: a run with metrics on is
+  /// bit-identical in weights and losses to the same run with them off.
+  std::string metrics_path;
 };
 
 /// F1 / ROC-AUC / PR-AUC triple — the paper's reporting columns. The
@@ -102,15 +111,38 @@ class HyGnnTrainer {
   EvalResult Evaluate(const HypergraphContext& context,
                       const std::vector<data::LabeledPair>& pairs) const;
 
-  /// Training loss of every epoch of the last Fit() call, in order.
-  /// Deterministic given the seed (and independent of the thread
-  /// count), which the determinism tests rely on.
+  /// Batch-weighted mean training loss of every epoch of the last
+  /// Fit() call, in order (for full-batch training this is simply the
+  /// epoch's loss). Deterministic given the seed (and independent of
+  /// the thread count), which the determinism tests rely on.
   const std::vector<float>& epoch_losses() const { return epoch_losses_; }
+
+  /// Loss of the final batch of the last epoch Fit() ran. This is the
+  /// quantity epoch_losses() used to (incorrectly) record per epoch;
+  /// kept for callers that want the raw last-step loss.
+  float last_batch_loss() const { return last_batch_loss_; }
+
+  /// Validation loss of every epoch of the last Fit() call (empty when
+  /// no validation fold was configured).
+  const std::vector<float>& val_losses() const { return val_losses_; }
+
+  /// Epoch index with the best (lowest) validation loss, or -1 when no
+  /// validation fold was configured or no epoch ran.
+  int32_t best_epoch() const { return best_epoch_; }
+
+  /// True when the last Fit() stopped early on validation patience. In
+  /// that case the model holds the best-epoch weights, not the weights
+  /// of the (worse) final epochs — see the restore logic in TryFit.
+  bool early_stopped() const { return early_stopped_; }
 
  private:
   HyGnnModel* model_;
   TrainConfig config_;
   std::vector<float> epoch_losses_;
+  std::vector<float> val_losses_;
+  float last_batch_loss_ = 0.0f;
+  int32_t best_epoch_ = -1;
+  bool early_stopped_ = false;
 };
 
 }  // namespace hygnn::model

@@ -68,8 +68,15 @@ double RocAuc(const std::vector<float>& scores,
   // Rank the scores (average ranks on ties), then apply Mann-Whitney.
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), size_t{0});
-  std::sort(order.begin(), order.end(),
-            [&scores](size_t a, size_t b) { return scores[a] < scores[b]; });
+  // Tie-break by index: std::sort is not stable and a score-only
+  // comparator leaves tied elements in an unspecified, standard-library-
+  // dependent order. Ties are processed as one rank group below, so the
+  // value is unchanged — but the traversal order (and any future code
+  // that peels the groups apart) is now deterministic everywhere.
+  std::sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] < scores[b];
+    return a < b;
+  });
   std::vector<double> ranks(n);
   size_t i = 0;
   while (i < n) {
@@ -108,8 +115,13 @@ double PrAuc(const std::vector<float>& scores,
   if (total_positives == 0) return 0.0;
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), size_t{0});
+  // Non-stable sort with a score-only comparator ordered ties
+  // unspecifiedly (libstdc++ vs libc++ disagree); the index tie-break
+  // makes the ranking a total order, so results are deterministic
+  // across standard libraries. Regression: PrAucTest.TiedScores*.
   std::sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
-    return scores[a] > scores[b];
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
   });
   // Average precision: sum over thresholds of precision * delta-recall,
   // processing tied scores as a single threshold.
@@ -165,7 +177,8 @@ ThresholdF1 BestF1Threshold(const std::vector<float>& scores,
   std::vector<size_t> order(scores.size());
   std::iota(order.begin(), order.end(), size_t{0});
   std::sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
-    return scores[a] > scores[b];
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;  // deterministic tie order (see PrAuc)
   });
   int64_t total_positives = 0;
   for (float label : labels) {

@@ -1,0 +1,179 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace hygnn::obs {
+
+namespace internal {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace internal
+
+namespace {
+
+/// Portable atomic double accumulation (CAS loop; relaxed — samples are
+/// independent and only aggregated at snapshot time).
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double observed = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(observed, observed + delta,
+                                        std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void SetMetricsEnabled(bool enabled) {
+  internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+ScopedMetricsEnabled::ScopedMetricsEnabled(bool enabled)
+    : previous_(MetricsEnabled()) {
+  SetMetricsEnabled(enabled);
+}
+
+ScopedMetricsEnabled::~ScopedMetricsEnabled() { SetMetricsEnabled(previous_); }
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  HYGNN_CHECK(!bounds_.empty()) << "histogram needs at least one bound";
+  HYGNN_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, value);
+}
+
+double Histogram::mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::Quantile(double q) const {
+  const std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample (1-based, ceil so q=1 is the last one).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(total) + 0.5));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    if (seen + counts[b] >= rank) {
+      // Overflow bucket has no upper bound; report the last finite one.
+      if (b == bounds_.size()) return bounds_.back();
+      const double lo = b == 0 ? 0.0 : bounds_[b - 1];
+      const double hi = bounds_[b];
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(counts[b]);
+      return lo + (hi - lo) * frac;
+    }
+    seen += counts[b];
+  }
+  return bounds_.back();
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& DefaultLatencyBoundsUs() {
+  static const std::vector<double> kBounds = {
+      1,    2,    5,    10,   20,   50,   100,  200,  500,  1e3, 2e3,
+      5e3,  1e4,  2e4,  5e4,  1e5,  2e5,  5e5,  1e6,  2e6,  5e6, 1e7};
+  return kBounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(
+        bounds.empty() ? DefaultLatencyBoundsUs() : std::move(bounds));
+  }
+  return slot.get();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSnapshot snap;
+    snap.kind = MetricSnapshot::Kind::kCounter;
+    snap.name = name;
+    snap.value = static_cast<double>(counter->value());
+    snap.count = counter->value();
+    out.push_back(std::move(snap));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSnapshot snap;
+    snap.kind = MetricSnapshot::Kind::kGauge;
+    snap.name = name;
+    snap.value = gauge->value();
+    out.push_back(std::move(snap));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricSnapshot snap;
+    snap.kind = MetricSnapshot::Kind::kHistogram;
+    snap.name = name;
+    snap.count = histogram->count();
+    snap.sum = histogram->sum();
+    snap.p50 = histogram->Quantile(0.50);
+    snap.p95 = histogram->Quantile(0.95);
+    snap.p99 = histogram->Quantile(0.99);
+    out.push_back(std::move(snap));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace hygnn::obs

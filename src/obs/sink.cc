@@ -1,0 +1,200 @@
+#include "obs/sink.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/fs.h"
+
+namespace hygnn::obs {
+
+using core::Result;
+using core::Status;
+
+namespace {
+
+constexpr char kCrcTrailerPrefix[] = "#crc32,";
+
+std::string EscapeJson(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no NaN/Inf
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+void JsonWriter::Key(std::string_view key) {
+  body_ += body_.empty() ? '{' : ',';
+  body_ += '"';
+  body_ += EscapeJson(key);
+  body_ += "\":";
+}
+
+JsonWriter& JsonWriter::Str(std::string_view key, std::string_view value) {
+  Key(key);
+  body_ += '"';
+  body_ += EscapeJson(value);
+  body_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Num(std::string_view key, double value) {
+  Key(key);
+  body_ += FormatDouble(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(std::string_view key, int64_t value) {
+  Key(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(std::string_view key, uint64_t value) {
+  Key(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+std::string JsonWriter::Finish() {
+  if (body_.empty()) return "{}";
+  std::string out = std::move(body_);
+  body_.clear();
+  out += '}';
+  return out;
+}
+
+MetricsRecorder::MetricsRecorder(std::string path)
+    : path_(std::move(path)) {}
+
+void MetricsRecorder::Event(std::string json_object) {
+  if (!active()) return;
+  events_.push_back(std::move(json_object));
+}
+
+Status MetricsRecorder::Flush() const {
+  if (!active()) return Status::Ok();
+  std::string body;
+  for (const auto& event : events_) {
+    body += event;
+    body += '\n';
+  }
+  for (const auto& snap : MetricsRegistry::Global().Snapshot()) {
+    JsonWriter line;
+    switch (snap.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        line.Str("type", "counter").Str("name", snap.name).Uint(
+            "value", snap.count);
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        line.Str("type", "gauge").Str("name", snap.name).Num("value",
+                                                             snap.value);
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        line.Str("type", "histogram")
+            .Str("name", snap.name)
+            .Uint("count", snap.count)
+            .Num("sum", snap.sum)
+            .Num("p50", snap.p50)
+            .Num("p95", snap.p95)
+            .Num("p99", snap.p99);
+        break;
+    }
+    body += line.Finish();
+    body += '\n';
+  }
+  for (const auto& op : OpTimeSnapshot()) {
+    JsonWriter line;
+    line.Str("type", "op")
+        .Str("name", op.op)
+        .Uint("forward_calls", op.forward_calls)
+        .Num("forward_ms", op.forward_ms)
+        .Uint("backward_calls", op.backward_calls)
+        .Num("backward_ms", op.backward_ms);
+    body += line.Finish();
+    body += '\n';
+  }
+  char trailer[24];
+  std::snprintf(trailer, sizeof(trailer), "%s%08x\n", kCrcTrailerPrefix,
+                core::Crc32(body));
+  body += trailer;
+  return core::WriteFileAtomic(core::ActiveFileSystem(), path_, body);
+}
+
+Result<std::string> ReadMetricsFileVerified(const std::string& path) {
+  auto content_or = core::ActiveFileSystem().ReadFile(path);
+  if (!content_or.ok()) return content_or.status();
+  const std::string& content = content_or.value();
+  const size_t pos = content.rfind(kCrcTrailerPrefix);
+  if (pos == std::string::npos || (pos != 0 && content[pos - 1] != '\n')) {
+    return Status::IoError(
+        "missing #crc32 trailer (torn or foreign metrics file): " + path);
+  }
+  std::string hex = content.substr(pos + sizeof(kCrcTrailerPrefix) - 1);
+  while (!hex.empty() && (hex.back() == '\n' || hex.back() == '\r')) {
+    hex.pop_back();
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long stored = std::strtoul(hex.c_str(), &end, 16);
+  if (errno != 0 || hex.size() != 8 || end != hex.c_str() + hex.size()) {
+    return Status::IoError("malformed #crc32 trailer: " + path);
+  }
+  std::string body = content.substr(0, pos);
+  const uint32_t computed = core::Crc32(body);
+  if (computed != static_cast<uint32_t>(stored)) {
+    return Status::IoError(
+        "metrics file checksum mismatch (torn or corrupt write): " + path);
+  }
+  return body;
+}
+
+std::vector<std::string> SplitJsonlLines(std::string_view body) {
+  std::vector<std::string> lines;
+  size_t begin = 0;
+  while (begin < body.size()) {
+    size_t end = body.find('\n', begin);
+    if (end == std::string_view::npos) end = body.size();
+    if (end > begin) lines.emplace_back(body.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return lines;
+}
+
+}  // namespace hygnn::obs

@@ -1,0 +1,84 @@
+#ifndef HYGNN_OBS_SINK_H_
+#define HYGNN_OBS_SINK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+#include "obs/metrics.h"
+#include "obs/optime.h"
+
+namespace hygnn::obs {
+
+/// Minimal one-object JSON line builder (no nesting — the metrics file
+/// is flat records). Field order follows call order; strings are
+/// escaped; numbers are emitted with enough digits to round-trip.
+class JsonWriter {
+ public:
+  JsonWriter& Str(std::string_view key, std::string_view value);
+  JsonWriter& Num(std::string_view key, double value);
+  JsonWriter& Int(std::string_view key, int64_t value);
+  JsonWriter& Uint(std::string_view key, uint64_t value);
+
+  /// The finished object, e.g. {"type":"epoch","epoch":3}.
+  std::string Finish();
+
+ private:
+  void Key(std::string_view key);
+  std::string body_;
+};
+
+/// Buffers JSONL metric events during a run and flushes them — together
+/// with a MetricsRegistry snapshot and the per-op kernel times — as one
+/// atomic, checksummed file. All I/O goes through core::ActiveFileSystem,
+/// so FaultInjectingFs covers the metrics path like every other writer:
+/// the flush is temp + fsync + rename, and the file ends with the same
+/// "#crc32,<hex>" trailer the CSV corpus files carry, letting readers
+/// reject torn or corrupt copies.
+///
+/// Line inventory (one JSON object per line, discriminated by "type"):
+///   {"type":"event", ...}                       — caller-recorded events
+///   {"type":"counter","name":...,"value":...}
+///   {"type":"gauge","name":...,"value":...}
+///   {"type":"histogram","name":...,"count":...,"sum":...,
+///    "p50":...,"p95":...,"p99":...}             — microsecond latencies
+///   {"type":"op","name":...,"forward_calls":...,"forward_ms":...,
+///    "backward_calls":...,"backward_ms":...}    — kernel op attribution
+class MetricsRecorder {
+ public:
+  /// `path` is where Flush writes; an empty path makes the recorder
+  /// inert (Event is a no-op, Flush succeeds without touching disk), so
+  /// callers can construct one unconditionally and gate nothing.
+  explicit MetricsRecorder(std::string path);
+
+  bool active() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  /// Appends one pre-built JSON object (use JsonWriter) as an event
+  /// line. Buffered in memory until Flush.
+  void Event(std::string json_object);
+
+  /// Writes events + registry snapshot + op times to path() atomically
+  /// with a CRC trailer. Safe to call repeatedly (later flushes rewrite
+  /// the file with the fuller picture).
+  core::Status Flush() const;
+
+ private:
+  std::string path_;
+  std::vector<std::string> events_;
+};
+
+/// Reads a Flush()ed metrics file through `ActiveFileSystem`, verifies
+/// the "#crc32" trailer, and returns the JSONL body (trailer stripped).
+/// Torn, truncated, or corrupt files are typed IoErrors.
+core::Result<std::string> ReadMetricsFileVerified(const std::string& path);
+
+/// Splits a verified JSONL body into lines (no blank lines). Helper for
+/// tests and downstream tooling.
+std::vector<std::string> SplitJsonlLines(std::string_view body);
+
+}  // namespace hygnn::obs
+
+#endif  // HYGNN_OBS_SINK_H_

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "core/logging.h"
+#include "obs/metrics.h"
 #include "tensor/kernels/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/sparse.h"
@@ -76,6 +77,11 @@ Status EmbeddingStore::Rebuild(const model::HypergraphContext& context) {
   valid_ = true;
   ++generation_;
   names_.clear();
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("serve.embedding_cache.rebuilds")
+        ->Add();
+  }
   return Status::Ok();
 }
 
@@ -234,6 +240,13 @@ Result<int32_t> EmbeddingStore::AddDrug(
     incident_[static_cast<size_t>(node)].push_back(new_edge);
   }
   ++num_drugs_;
+  if (obs::MetricsEnabled()) {
+    // An AddDrug is a cache miss: the row was not in the store and had
+    // to be derived incrementally (Row reads afterwards are hits).
+    obs::MetricsRegistry::Global()
+        .GetCounter("serve.embedding_cache.misses")
+        ->Add();
+  }
   return new_edge;
 }
 

@@ -5,9 +5,38 @@
 
 #include "core/logging.h"
 #include "core/thread_pool.h"
+#include "obs/metrics.h"
 #include "tensor/debug.h"
 
 namespace hygnn::serve {
+
+namespace {
+
+/// Serving-side metric handles, fetched lazily so a process that never
+/// enables metrics never touches the registry (registration takes a
+/// mutex; Observe/Add afterwards are lock-free, safe from ParallelFor
+/// workers). Handles are process-lifetime stable.
+struct ScoreMetrics {
+  obs::Histogram* score_us;
+  obs::Histogram* gather_us;
+  obs::Histogram* decode_us;
+  obs::Counter* pairs_scored;
+  obs::Counter* cache_hits;
+};
+
+const ScoreMetrics& GetScoreMetrics() {
+  static const ScoreMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    return ScoreMetrics{registry.GetHistogram("serve.score_us"),
+                        registry.GetHistogram("serve.gather_us"),
+                        registry.GetHistogram("serve.decode_us"),
+                        registry.GetCounter("serve.pairs_scored"),
+                        registry.GetCounter("serve.embedding_cache.hits")};
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 PairScorer::PairScorer(const model::HyGnnModel* model,
                        const EmbeddingStore* store)
@@ -31,6 +60,14 @@ std::vector<float> PairScorer::Score(
         << "pair (" << pair.a << ", " << pair.b << ") outside catalog of "
         << num_drugs << " drugs";
   }
+  const bool record = obs::MetricsEnabled();
+  const ScoreMetrics* metrics = record ? &GetScoreMetrics() : nullptr;
+  obs::Timer score_timer;
+  if (record) {
+    metrics->pairs_scored->Add(static_cast<uint64_t>(n));
+    // Every pair reads two precomputed embedding rows from the store.
+    metrics->cache_hits->Add(static_cast<uint64_t>(2 * n));
+  }
   tensor::InferenceModeScope inference;
   // Fixed-size chunks: the partition never depends on the thread count,
   // and the decoder treats each pair row independently, so chunked
@@ -40,13 +77,19 @@ std::vector<float> PairScorer::Score(
     const int64_t m = hi - lo;
     tensor::Tensor q_a = tensor::Tensor::Zeros(m, dim);
     tensor::Tensor q_b = tensor::Tensor::Zeros(m, dim);
-    for (int64_t i = 0; i < m; ++i) {
-      const auto& pair = pairs[static_cast<size_t>(lo + i)];
-      std::memcpy(q_a.data() + i * dim, store_->Row(pair.a),
-                  static_cast<size_t>(dim) * sizeof(float));
-      std::memcpy(q_b.data() + i * dim, store_->Row(pair.b),
-                  static_cast<size_t>(dim) * sizeof(float));
+    {
+      // Per-stage spans record from pool workers concurrently; Observe
+      // is one relaxed fetch_add, so no cross-worker synchronization.
+      obs::ScopedTimer gather_span(record ? metrics->gather_us : nullptr);
+      for (int64_t i = 0; i < m; ++i) {
+        const auto& pair = pairs[static_cast<size_t>(lo + i)];
+        std::memcpy(q_a.data() + i * dim, store_->Row(pair.a),
+                    static_cast<size_t>(dim) * sizeof(float));
+        std::memcpy(q_b.data() + i * dim, store_->Row(pair.b),
+                    static_cast<size_t>(dim) * sizeof(float));
+      }
     }
+    obs::ScopedTimer decode_span(record ? metrics->decode_us : nullptr);
     const tensor::Tensor logits =
         model_->decoder().Score(q_a, q_b, /*training=*/false, nullptr);
     // Serving contract: inference mode must keep the autograd graph
@@ -58,6 +101,7 @@ std::vector<float> PairScorer::Score(
           model::StableSigmoid(logits.data()[i]);
     }
   });
+  if (record) metrics->score_us->Observe(score_timer.ElapsedMicros());
   return scores;
 }
 
@@ -68,13 +112,31 @@ ScreeningEngine::ScreeningEngine(const model::HyGnnModel* model,
 std::vector<ScreeningHit> ScreeningEngine::TopK(int32_t query,
                                                 int32_t k) const {
   HYGNN_CHECK(query >= 0 && query < store_->num_drugs());
-  std::vector<data::LabeledPair> pairs;
-  pairs.reserve(static_cast<size_t>(store_->num_drugs()));
-  for (int32_t drug = 0; drug < store_->num_drugs(); ++drug) {
-    if (drug == query) continue;
-    pairs.push_back({query, drug, 0.0f});
+  const bool record = obs::MetricsEnabled();
+  obs::Histogram* build_us = nullptr;
+  obs::Histogram* score_us = nullptr;
+  obs::Histogram* rank_us = nullptr;
+  if (record) {
+    auto& registry = obs::MetricsRegistry::Global();
+    build_us = registry.GetHistogram("serve.topk_build_us");
+    score_us = registry.GetHistogram("serve.topk_score_us");
+    rank_us = registry.GetHistogram("serve.topk_rank_us");
   }
-  const std::vector<float> scores = scorer_.Score(pairs);
+  std::vector<data::LabeledPair> pairs;
+  {
+    obs::ScopedTimer build_span(build_us);
+    pairs.reserve(static_cast<size_t>(store_->num_drugs()));
+    for (int32_t drug = 0; drug < store_->num_drugs(); ++drug) {
+      if (drug == query) continue;
+      pairs.push_back({query, drug, 0.0f});
+    }
+  }
+  std::vector<float> scores;
+  {
+    obs::ScopedTimer score_span(score_us);
+    scores = scorer_.Score(pairs);
+  }
+  obs::ScopedTimer rank_span(rank_us);
   std::vector<ScreeningHit> hits(pairs.size());
   for (size_t i = 0; i < pairs.size(); ++i) {
     hits[i] = {pairs[i].b, scores[i]};

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "obs/optime.h"
 #include "tensor/debug.h"
 #include "tensor/ops.h"
 
@@ -27,6 +28,7 @@ Tensor BceWithLogitsLoss(const Tensor& logits,
   out->data.assign(1, 0.0f);
   out->requires_grad = zi->requires_grad && !InferenceModeEnabled();
   if (out->requires_grad) out->parents = {zi};
+  obs::OpStart(out.get());
 
   double acc = 0.0;
   for (int64_t i = 0; i < n; ++i) {
@@ -57,6 +59,7 @@ Tensor BceWithLogitsLoss(const Tensor& logits,
       }
     };
   }
+  obs::OpFinish(out.get(), out->op);
   GuardOpResult(out);
   return Tensor(out);
 }
@@ -106,6 +109,7 @@ Tensor SoftmaxCrossEntropyLoss(const Tensor& logits,
   out->data.assign(1, 0.0f);
   out->requires_grad = zi->requires_grad && !InferenceModeEnabled();
   if (out->requires_grad) out->parents = {zi};
+  obs::OpStart(out.get());
 
   // Cache the softmax for the backward pass.
   auto softmax = std::make_shared<std::vector<float>>(
@@ -147,6 +151,7 @@ Tensor SoftmaxCrossEntropyLoss(const Tensor& logits,
       }
     };
   }
+  obs::OpFinish(out.get(), out->op);
   GuardOpResult(out);
   return Tensor(out);
 }

@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "obs/optime.h"
 #include "tensor/debug.h"
 #include "tensor/kernels/kernels.h"
 
@@ -36,6 +37,10 @@ std::shared_ptr<TensorImpl> MakeOutput(
                     return p->requires_grad;
                   });
   if (out->requires_grad) out->parents = std::move(parents);
+  // Opens the per-op timing span (obs::OpFinish in FinishOp closes it
+  // and attributes the elapsed time to out->op). No-op unless
+  // obs::SetKernelTimingEnabled was called; never touches tensor data.
+  obs::OpStart(out.get());
   return out;
 }
 
@@ -46,6 +51,7 @@ bool NeedsGrad(const std::shared_ptr<TensorImpl>& node) {
 /// Every op returns through here after its forward value is written so
 /// NumericsGuard can attribute the first NaN/Inf to the producing op.
 Tensor FinishOp(std::shared_ptr<TensorImpl> out) {
+  obs::OpFinish(out.get(), out->op);
   GuardOpResult(out);
   return Tensor(std::move(out));
 }

@@ -19,16 +19,20 @@ void Optimizer::ZeroGrad() {
   for (auto& p : parameters_) p.ZeroGrad();
 }
 
-float Optimizer::ClipGradNorm(float max_norm) {
+float Optimizer::GradNorm() const {
   double total_sq = 0.0;
-  for (auto& p : parameters_) {
+  for (const auto& p : parameters_) {
     if (!p.has_grad()) continue;
     const float* g = p.grad();
     for (int64_t i = 0; i < p.size(); ++i) {
       total_sq += static_cast<double>(g[i]) * g[i];
     }
   }
-  const float norm = static_cast<float>(std::sqrt(total_sq));
+  return static_cast<float>(std::sqrt(total_sq));
+}
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  const float norm = GradNorm();
   if (norm > max_norm && norm > 0.0f) {
     const float scale = max_norm / norm;
     for (auto& p : parameters_) {

@@ -25,6 +25,11 @@ class Optimizer {
   /// Clears all parameter gradients. Call between optimization steps.
   void ZeroGrad();
 
+  /// Global L2 norm of all accumulated parameter gradients. Read-only
+  /// (never modifies gradients); the trainer's observability layer
+  /// reports this per epoch.
+  float GradNorm() const;
+
   /// Scales gradients so their global L2 norm is at most `max_norm`.
   /// Returns the pre-clipping norm.
   float ClipGradNorm(float max_norm);

@@ -1,9 +1,11 @@
 #include "tensor/tensor.h"
 
 #include <atomic>
+#include <chrono>
 #include <unordered_set>
 
 #include "core/logging.h"
+#include "obs/optime.h"
 
 namespace hygnn::tensor {
 
@@ -101,10 +103,24 @@ void Tensor::Backward() {
   impl_->grad[0] = 1.0f;
   // order is post-order (children before parents in graph-edge sense);
   // reverse it so the root runs first.
+  const bool time_ops = obs::KernelTimingEnabled();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     if ((*it)->backward_fn) {
       ++(*it)->backward_runs;
-      (*it)->backward_fn();
+      if (time_ops) {
+        // Attribute each node's gradient kernel to its producing op —
+        // the backward half of the obs per-op attribution table.
+        const auto start = std::chrono::steady_clock::now();
+        (*it)->backward_fn();
+        obs::RecordBackward(
+            (*it)->op,
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count()));
+      } else {
+        (*it)->backward_fn();
+      }
     }
   }
 }

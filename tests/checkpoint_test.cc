@@ -1,5 +1,6 @@
 #include "hygnn/checkpoint.h"
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -22,6 +23,9 @@ namespace {
 std::string TempDirPath(const std::string& name) {
   const std::string dir = testing::TempDir() + "/" + name;
   core::PosixFs().CreateDir(dir);
+  // These names are fixed, so a checkpoint left by a previous test
+  // binary (possibly an older format version) would leak into this run.
+  core::PosixFs().Remove(CheckpointPath(dir));
   return dir;
 }
 
@@ -93,6 +97,9 @@ TEST(TrainCheckpointTest, RoundTripsEveryFieldBitExact) {
   ckpt.epoch_losses = {0.9f, 0.5f, 0.30000001f};
   ckpt.best_val_loss = 0.42f;
   ckpt.epochs_since_improvement = 3;
+  ckpt.val_losses = {0.8f, 0.42f, 0.55f};
+  ckpt.best_epoch = 1;
+  ckpt.best_weights = {{0.5f, -0.25f, 1e-7f}, {3.0f}};
   core::Rng rng(99);
   rng.Normal();  // park a Box-Muller spare in the state
   ckpt.rng = rng.state();
@@ -116,6 +123,14 @@ TEST(TrainCheckpointTest, RoundTripsEveryFieldBitExact) {
             0);
   EXPECT_EQ(got.best_val_loss, 0.42f);
   EXPECT_EQ(got.epochs_since_improvement, 3);
+  ASSERT_EQ(got.val_losses.size(), 3u);
+  EXPECT_EQ(std::memcmp(got.val_losses.data(), ckpt.val_losses.data(),
+                        3 * sizeof(float)),
+            0);
+  EXPECT_EQ(got.best_epoch, 1);
+  ASSERT_EQ(got.best_weights.size(), 2u);
+  EXPECT_EQ(got.best_weights[0], ckpt.best_weights[0]);
+  EXPECT_EQ(got.best_weights[1], ckpt.best_weights[1]);
   EXPECT_EQ(got.rng.s, ckpt.rng.s);
   EXPECT_EQ(got.rng.has_cached_normal, ckpt.rng.has_cached_normal);
   EXPECT_EQ(got.rng.cached_normal, ckpt.rng.cached_normal);
@@ -197,6 +212,51 @@ TEST(TrainCheckpointTest, KillAndResumeIsBitIdenticalToStraightRun) {
             0);
 
   // Weights: bit-identical to the run that never stopped.
+  EXPECT_TRUE(
+      BitIdentical(FlattenWeights(straight), FlattenWeights(resumed)));
+}
+
+TEST(TrainCheckpointTest, ResumeAcrossEarlyStopRestoresSameBestWeights) {
+  // An early-stopped run hands back its best-epoch weights. A run that
+  // was killed mid-training and resumed must early-stop at the same
+  // epoch and restore the same snapshot — best_weights rides in every
+  // checkpoint, so the restore survives the kill.
+  TinyPipeline pipeline;
+  TrainConfig base = pipeline.MakeConfig(/*epochs=*/200);
+  base.patience = 2;
+
+  HyGnnModel straight = pipeline.MakeModel();
+  HyGnnTrainer straight_trainer(&straight, base);
+  straight_trainer.Fit(*pipeline.context, pipeline.pairs);
+  ASSERT_TRUE(straight_trainer.early_stopped())
+      << "tune patience: the reference run must early-stop";
+  const auto epochs_run =
+      static_cast<int32_t>(straight_trainer.epoch_losses().size());
+  ASSERT_GE(epochs_run, 2);
+
+  // "Kill" halfway (the straight run did not stop that early, so this
+  // run cannot either — identical trajectories), then resume.
+  const std::string dir = TempDirPath("ckpt_earlystop");
+  HyGnnModel killed = pipeline.MakeModel();
+  TrainConfig first_half = base;
+  first_half.epochs = std::max(1, epochs_run / 2);
+  first_half.checkpoint_dir = dir;
+  HyGnnTrainer killed_trainer(&killed, first_half);
+  killed_trainer.Fit(*pipeline.context, pipeline.pairs);
+
+  HyGnnModel resumed = pipeline.MakeModel();
+  TrainConfig second_half = base;
+  second_half.checkpoint_dir = dir;
+  second_half.resume = true;
+  HyGnnTrainer resumed_trainer(&resumed, second_half);
+  resumed_trainer.Fit(*pipeline.context, pipeline.pairs);
+
+  EXPECT_TRUE(resumed_trainer.early_stopped());
+  EXPECT_EQ(resumed_trainer.best_epoch(), straight_trainer.best_epoch());
+  ASSERT_EQ(resumed_trainer.epoch_losses().size(),
+            straight_trainer.epoch_losses().size());
+  ASSERT_EQ(resumed_trainer.val_losses().size(),
+            straight_trainer.val_losses().size());
   EXPECT_TRUE(
       BitIdentical(FlattenWeights(straight), FlattenWeights(resumed)));
 }

@@ -92,6 +92,36 @@ TEST(PrAucTest, NoPositivesIsZero) {
   EXPECT_DOUBLE_EQ(PrAuc({0.5f}, {0.0f}), 0.0);
 }
 
+TEST(PrAucTest, TiedScoresAreOrderIndependent) {
+  // Regression for the std::sort comparator: with a score-only
+  // comparator, tied elements land in a standard-library-dependent
+  // order (std::sort is not stable). Ties are processed as one
+  // threshold group, so the value must not depend on the input order of
+  // the tied block — permuting tied elements must not change the AP.
+  std::vector<float> scores{0.9f, 0.5f, 0.5f, 0.5f, 0.1f};
+  std::vector<float> labels{1.0f, 0.0f, 1.0f, 0.0f, 1.0f};
+  const double reference = PrAuc(scores, labels);
+  // Tied block permuted (same multiset of (score, label) pairs).
+  std::vector<float> permuted_labels{1.0f, 1.0f, 0.0f, 0.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(PrAuc(scores, permuted_labels), reference);
+  // Hand-computed: group thresholds are 0.9 (tp=1, recall 1/3), 0.5
+  // (tp=2, fp=2, recall 2/3), 0.1 (tp=3, fp=2, recall 1).
+  const double expected =
+      1.0 * (1.0 / 3.0) + 0.5 * (1.0 / 3.0) + 0.6 * (1.0 / 3.0);
+  EXPECT_NEAR(reference, expected, 1e-9);
+}
+
+TEST(PrAucTest, TiedScoresAtEveryDistinctValue) {
+  // All-pairs tie structure exercised end to end: two tied blocks, each
+  // mixing labels. Deterministic across standard libraries because the
+  // comparator totally orders the permutation by (score desc, index).
+  std::vector<float> scores{0.8f, 0.8f, 0.3f, 0.3f};
+  std::vector<float> labels{1.0f, 0.0f, 1.0f, 0.0f};
+  // Thresholds: 0.8 → tp=1, fp=1, recall 1/2, precision 1/2;
+  //             0.3 → tp=2, fp=2, recall 1, precision 1/2.
+  EXPECT_NEAR(PrAuc(scores, labels), 0.5 * 0.5 + 0.5 * 0.5, 1e-9);
+}
+
 TEST(AggregateTest, MeanAndStddev) {
   auto agg = AggregateOf({1.0, 2.0, 3.0});
   EXPECT_DOUBLE_EQ(agg.mean, 2.0);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 #include <cmath>
+#include <cstring>
 #include <memory>
 
 #include "core/rng.h"
@@ -97,6 +98,85 @@ TEST(TrainerFeaturesTest, EarlyStoppingTerminates) {
   EXPECT_LT(watch.ElapsedSeconds(), 120.0);
   auto result = trainer.Evaluate(*pipeline.context, pipeline.split.test);
   EXPECT_GT(result.roc_auc, 0.6);
+}
+
+std::vector<float> FlattenWeights(const HyGnnModel& model) {
+  std::vector<float> flat;
+  for (const auto& p : model.Parameters()) {
+    flat.insert(flat.end(), p.data(), p.data() + p.size());
+  }
+  return flat;
+}
+
+TEST(TrainerFeaturesTest, EarlyStopRestoresBestEpochWeights) {
+  SmallPipeline pipeline;
+  HyGnnModel stopped = pipeline.MakeModel(5);
+  TrainConfig config;
+  config.epochs = 100000;
+  config.validation_fraction = 0.2;
+  config.patience = 8;
+  HyGnnTrainer trainer(&stopped, config);
+  trainer.Fit(*pipeline.context, pipeline.split.train);
+  ASSERT_TRUE(trainer.early_stopped());
+  const int32_t best = trainer.best_epoch();
+  ASSERT_GE(best, 0);
+  EXPECT_EQ(trainer.val_losses().size(), trainer.epoch_losses().size());
+  // The stop fires `patience` epochs after the last improvement.
+  EXPECT_EQ(static_cast<int32_t>(trainer.epoch_losses().size()),
+            best + config.patience + 1);
+
+  // Replay: same seed, but stop exactly after the best epoch. Training
+  // is deterministic, so both runs are identical through epoch `best`
+  // and the replay never gets far enough to early-stop — its final
+  // weights are precisely the snapshot the stopped run must restore.
+  HyGnnModel replay = pipeline.MakeModel(5);
+  TrainConfig replay_config = config;
+  replay_config.epochs = best + 1;
+  HyGnnTrainer replay_trainer(&replay, replay_config);
+  replay_trainer.Fit(*pipeline.context, pipeline.split.train);
+  EXPECT_FALSE(replay_trainer.early_stopped());
+
+  const auto restored = FlattenWeights(stopped);
+  const auto reference = FlattenWeights(replay);
+  ASSERT_EQ(restored.size(), reference.size());
+  EXPECT_EQ(std::memcmp(restored.data(), reference.data(),
+                        restored.size() * sizeof(float)),
+            0);
+}
+
+TEST(TrainerFeaturesTest, SingleBatchEpochLossEqualsLastBatchLoss) {
+  // With one batch per epoch the example-weighted epoch mean must
+  // degenerate to exactly that batch's loss.
+  SmallPipeline pipeline;
+  HyGnnModel model = pipeline.MakeModel(6);
+  TrainConfig config;
+  config.epochs = 3;
+  config.batch_size =
+      static_cast<int32_t>(pipeline.split.train.size());  // one batch
+  HyGnnTrainer trainer(&model, config);
+  trainer.Fit(*pipeline.context, pipeline.split.train);
+  ASSERT_EQ(trainer.epoch_losses().size(), 3u);
+  EXPECT_EQ(trainer.epoch_losses().back(), trainer.last_batch_loss());
+}
+
+TEST(TrainerFeaturesTest, EpochLossIsMeanNotLastBatch) {
+  // Uneven batches: the short final batch must not dominate. The epoch
+  // record is the example-weighted mean over the whole epoch, while
+  // last_batch_loss() keeps the raw final-step quantity (the value the
+  // old code wrongly averaged unweighted).
+  SmallPipeline pipeline;
+  HyGnnModel model = pipeline.MakeModel(7);
+  TrainConfig config;
+  config.epochs = 2;
+  config.batch_size =
+      static_cast<int32_t>(pipeline.split.train.size()) - 1;  // sizes n-1, 1
+  HyGnnTrainer trainer(&model, config);
+  trainer.Fit(*pipeline.context, pipeline.split.train);
+  ASSERT_EQ(trainer.epoch_losses().size(), 2u);
+  for (float loss : trainer.epoch_losses()) {
+    EXPECT_TRUE(std::isfinite(loss));
+  }
+  EXPECT_NE(trainer.epoch_losses().back(), trainer.last_batch_loss());
 }
 
 TEST(TrainerFeaturesTest, ValidationFoldShrinksTrainingSet) {
