@@ -19,6 +19,27 @@ Checks, over *tracked* files only (git ls-files):
      (obs::Timer / obs::ScopedTimer, src/obs/metrics.h) so every sample
      lands in the shared registry instead of a one-off log line
 
+Determinism & concurrency discipline (rules 9-12, DISCIPLINE_RULES;
+these keep every nondeterminism source inside its sanctioned home so
+the bit-identity guarantee survives concurrent code):
+
+  9. no rand()/srand()/std::random_device/std::mt19937 outside
+     src/core/rng and tests/ — all randomness flows through the seeded
+     core::Rng stream, which checkpoints pin for bit-identical resume
+ 10. no wall clocks (system_clock / high_resolution_clock) anywhere in
+     src/, bench/, or examples/, and no raw steady_clock reads outside
+     src/obs/ and src/core/ — timing goes through obs (Timer,
+     NowNanos) or core::Stopwatch so no clock read can leak into
+     computed results
+ 11. no raw std::thread or .detach() outside src/core/thread_pool —
+     concurrency runs on the shared pool whose grain-based chunking is
+     what makes parallel results bit-identical
+ 12. no bare std::mutex / std::condition_variable / std::lock_guard /
+     std::unique_lock / std::scoped_lock outside src/core/ — locking
+     routes through the annotated core::Mutex wrappers
+     (src/core/mutex.h) so Clang Thread Safety Analysis sees every
+     acquisition
+
 Exits 0 when clean, 1 with one line per violation otherwise.
 """
 
@@ -62,6 +83,71 @@ RAW_STOPWATCH = re.compile(
 # Stopwatch produces a measurement no registry snapshot, histogram, or
 # metrics file ever sees.
 NO_STOPWATCH_DIRS = ("src/hygnn/", "src/serve/")
+
+# Rules 9-12: each nondeterminism / concurrency primitive is confined
+# to a sanctioned home. A rule applies to files whose repo-relative path
+# starts with a `scope` prefix and none of the `exempt` prefixes;
+# matching is over comment-stripped lines.
+DISCIPLINE_RULES = (
+    {
+        "rule": 9,
+        "pattern": re.compile(
+            r"(?<![\w_])(?:std\s*::\s*)?s?rand\s*\("
+            r"|std\s*::\s*random_device"
+            r"|std\s*::\s*(?:mt19937|minstd_rand|default_random_engine)"),
+        "scope": ("src/", "bench/", "examples/"),
+        "exempt": ("src/core/rng.",),
+        "message": (
+            "ad-hoc RNG — randomness must flow through the seeded "
+            "core::Rng stream (src/core/rng.h) so checkpoints can pin "
+            "and replay it bit-identically"),
+    },
+    {
+        "rule": 10,
+        "pattern": re.compile(
+            r"\b(?:system_clock|high_resolution_clock)\b"),
+        "scope": ("src/", "bench/", "examples/"),
+        "exempt": (),
+        "message": (
+            "wall clock — system_clock/high_resolution_clock are "
+            "nondeterministic across runs; use std::chrono::steady_clock "
+            "via obs::Timer / obs::NowNanos or core::Stopwatch"),
+    },
+    {
+        "rule": 10,
+        "pattern": re.compile(r"\bsteady_clock\b"),
+        "scope": ("src/",),
+        "exempt": ("src/obs/", "src/core/"),
+        "message": (
+            "raw steady_clock read — timing outside src/obs and "
+            "src/core goes through obs::Timer / obs::ScopedTimer / "
+            "obs::NowNanos so every sample reaches the metrics registry"),
+    },
+    {
+        "rule": 11,
+        "pattern": re.compile(r"\bstd\s*::\s*thread\b|\.\s*detach\s*\("),
+        "scope": ("src/", "bench/", "examples/"),
+        "exempt": ("src/core/thread_pool.",),
+        "message": (
+            "raw std::thread — concurrency runs on core::ParallelFor "
+            "(src/core/thread_pool.h), whose fixed grain chunking keeps "
+            "results bit-identical at any thread count"),
+    },
+    {
+        "rule": 12,
+        "pattern": re.compile(
+            r"\bstd\s*::\s*(?:mutex|recursive_mutex|timed_mutex"
+            r"|recursive_timed_mutex|shared_mutex|shared_timed_mutex"
+            r"|condition_variable|condition_variable_any|lock_guard"
+            r"|unique_lock|scoped_lock)\b"),
+        "scope": ("src/", "bench/", "examples/"),
+        "exempt": ("src/core/",),
+        "message": (
+            "bare std mutex primitive — use the annotated core::Mutex / "
+            "core::MutexLock / core::CondVar (src/core/mutex.h) so Clang "
+            "Thread Safety Analysis sees the acquisition"),
+    },
+)
 
 
 def tracked_files():
@@ -165,6 +251,28 @@ def check_no_raw_file_streams(path, text, problems):
                 "cover this path")
 
 
+def discipline_rules_for(path):
+    """The subset of DISCIPLINE_RULES that applies to `path`."""
+    return [
+        rule for rule in DISCIPLINE_RULES
+        if path.startswith(tuple(rule["scope"]))
+        and not path.startswith(tuple(rule["exempt"]))
+    ]
+
+
+def check_discipline(path, text, problems):
+    """Rules 9-12: confined nondeterminism / concurrency primitives."""
+    rules = discipline_rules_for(path)
+    if not rules:
+        return
+    for i, line in enumerate(text.splitlines(), 1):
+        code = LINE_COMMENT.sub("", line)
+        for rule in rules:
+            if rule["pattern"].search(code):
+                problems.append(
+                    f"{path}:{i}: [rule {rule['rule']}] {rule['message']}")
+
+
 def check_cmake_listing(files, problems):
     cmake_cache = {}
     for path in files:
@@ -216,6 +324,7 @@ def main():
             check_no_raw_file_streams(path, text, problems)
         if path.startswith(NO_STOPWATCH_DIRS):
             check_no_stopwatch(path, text, problems)
+        check_discipline(path, text, problems)
 
     if problems:
         for problem in problems:

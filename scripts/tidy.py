@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Gating clang-tidy runner with a checked-in finding baseline.
+
+The old check.sh clang-tidy pass was advisory (`|| true`): findings
+scrolled by and nothing failed. This runner makes clang-tidy a real
+gate without forcing a big-bang cleanup:
+
+  * every (file, check) pair's finding count is compared against the
+    frozen counts in scripts/tidy_baseline.json;
+  * a finding in a file/check pair that is NOT in the baseline — or a
+    count above its frozen value — FAILS the gate (new debt is barred);
+  * counts below the baseline are reported as stale entries (ratchet
+    down by re-running with --update-baseline after paying debt off).
+
+Usage:
+  scripts/tidy.py [--build-dir DIR] [--update-baseline] [--require]
+
+  --build-dir DIR    build tree holding compile_commands.json
+                     (default: newest build*/ dir that has one; the
+                     tree is configured with CMAKE_EXPORT_COMPILE_COMMANDS
+                     on, so any configured preset dir works)
+  --update-baseline  rewrite scripts/tidy_baseline.json from this run
+  --require          fail (exit 2) when clang-tidy is missing instead
+                     of skipping — CI sets this; local runs on boxes
+                     without clang degrade to a no-op with a notice
+
+Checks and per-check options come from .clang-tidy at the repo root.
+Exit status: 0 clean/skipped, 1 new findings, 2 environment error.
+"""
+
+import argparse
+import json
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO / "scripts" / "tidy_baseline.json"
+
+# clang-tidy diagnostic line: "<path>:<line>:<col>: warning: <msg> [<check>]"
+FINDING = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?:warning|error):\s+(?P<msg>.*?)\s+\[(?P<check>[A-Za-z0-9.,_-]+)\]$")
+
+
+def find_clang_tidy():
+    """The clang-tidy binary, preferring unversioned, then newest."""
+    if shutil.which("clang-tidy"):
+        return "clang-tidy"
+    for version in range(25, 11, -1):
+        name = f"clang-tidy-{version}"
+        if shutil.which(name):
+            return name
+    return None
+
+
+def tracked_sources():
+    out = subprocess.run(
+        ["git", "ls-files", "src/**/*.cc", "src/*.cc"], cwd=REPO,
+        check=True, capture_output=True, text=True)
+    return sorted(line for line in out.stdout.splitlines() if line)
+
+
+def default_build_dir():
+    """Newest build tree that already has a compile database."""
+    candidates = [
+        d for d in REPO.glob("build*")
+        if (d / "compile_commands.json").is_file()
+    ]
+    if not candidates:
+        return None
+    return max(candidates,
+               key=lambda d: (d / "compile_commands.json").stat().st_mtime)
+
+
+def ensure_compile_db(build_dir):
+    """Configures `build_dir` when its compile database is missing or
+    predates a CMakeLists/preset edit. Skips the (slow) re-configure
+    when the database is already current."""
+    db = build_dir / "compile_commands.json"
+    if db.is_file():
+        inputs = [REPO / "CMakePresets.json", REPO / "CMakeLists.txt"]
+        inputs += list(REPO.glob("src/**/CMakeLists.txt"))
+        db_mtime = db.stat().st_mtime
+        if all(not p.exists() or p.stat().st_mtime <= db_mtime
+               for p in inputs):
+            return True
+        print(f"tidy.py: {db} is stale; re-configuring", file=sys.stderr)
+    result = subprocess.run(
+        ["cmake", "-B", str(build_dir), "-S", str(REPO),
+         "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON"],
+        capture_output=True, text=True)
+    if result.returncode != 0:
+        print(result.stderr, file=sys.stderr)
+        print(f"tidy.py: cmake configure of {build_dir} failed",
+              file=sys.stderr)
+        return False
+    return db.is_file()
+
+
+def run_clang_tidy(binary, build_dir, sources):
+    """Findings as {(relpath, check): [finding line, ...]}, deduplicated
+    by (path, line, col, check) so a header diagnosed from several
+    translation units counts once."""
+    findings = {}
+    seen = set()
+    batch = 8
+    for start in range(0, len(sources), batch):
+        chunk = sources[start:start + batch]
+        result = subprocess.run(
+            [binary, "-p", str(build_dir), "--quiet"] + chunk,
+            cwd=REPO, capture_output=True, text=True)
+        for raw in result.stdout.splitlines():
+            match = FINDING.match(raw)
+            if not match:
+                continue
+            path = Path(match.group("path"))
+            if path.is_absolute():
+                try:
+                    path = path.relative_to(REPO)
+                except ValueError:
+                    continue  # system header — not ours to baseline
+            rel = path.as_posix()
+            if not rel.startswith("src/"):
+                continue
+            dedupe = (rel, match.group("line"), match.group("col"),
+                      match.group("check"))
+            if dedupe in seen:
+                continue
+            seen.add(dedupe)
+            for check in match.group("check").split(","):
+                findings.setdefault((rel, check), []).append(
+                    f"{rel}:{match.group('line')}:{match.group('col')}: "
+                    f"{match.group('msg')} [{check}]")
+    return findings
+
+
+def load_baseline():
+    if not BASELINE_PATH.is_file():
+        return {}
+    data = json.loads(BASELINE_PATH.read_text())
+    return data.get("findings", {})
+
+
+def write_baseline(findings):
+    payload = {
+        "_format": (
+            "\"<file>|<check>\" -> frozen finding count. Existing debt "
+            "is tolerated at exactly this count; new or increased "
+            "findings fail scripts/tidy.py. Regenerate with "
+            "scripts/tidy.py --update-baseline after paying debt down "
+            "(never to admit new debt)."),
+        "findings": {
+            f"{path}|{check}": len(lines)
+            for (path, check), lines in sorted(findings.items())
+        },
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def gate(findings, baseline):
+    """(new_finding_lines, stale_keys): lines over baseline, and
+    baseline keys whose debt shrank or vanished."""
+    new_lines = []
+    counted = {}
+    for (path, check), lines in sorted(findings.items()):
+        key = f"{path}|{check}"
+        counted[key] = len(lines)
+        allowed = baseline.get(key, 0)
+        if len(lines) > allowed:
+            # All of the pair's findings are listed (line numbers drift,
+            # so naming the specific "new" one is impossible) — but only
+            # pairs over budget fail.
+            new_lines.append(
+                f"  {key}: {len(lines)} finding(s), baseline allows "
+                f"{allowed}")
+            new_lines.extend(f"    {line}" for line in lines)
+    stale = [
+        key for key, allowed in sorted(baseline.items())
+        if counted.get(key, 0) < allowed
+    ]
+    return new_lines, stale
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="clang-tidy with a frozen-debt baseline gate")
+    parser.add_argument("--build-dir", type=Path, default=None)
+    parser.add_argument("--update-baseline", action="store_true")
+    parser.add_argument("--require", action="store_true",
+                        help="missing clang-tidy is an error, not a skip")
+    args = parser.parse_args()
+
+    binary = find_clang_tidy()
+    if binary is None:
+        message = ("tidy.py: clang-tidy not found — the baseline gate "
+                   "did not run")
+        if args.require:
+            print(message + " (--require set)", file=sys.stderr)
+            return 2
+        print(message + "; install clang-tidy to run it locally")
+        return 0
+
+    build_dir = args.build_dir or default_build_dir()
+    if build_dir is None:
+        build_dir = REPO / "build"
+    build_dir = build_dir if build_dir.is_absolute() else REPO / build_dir
+    if not ensure_compile_db(build_dir):
+        print("tidy.py: no compile_commands.json available", file=sys.stderr)
+        return 2
+
+    sources = tracked_sources()
+    findings = run_clang_tidy(binary, build_dir, sources)
+
+    if args.update_baseline:
+        write_baseline(findings)
+        total = sum(len(lines) for lines in findings.values())
+        print(f"tidy.py: baseline rewritten — {total} finding(s) across "
+              f"{len(findings)} file/check pair(s)")
+        return 0
+
+    baseline = load_baseline()
+    new_lines, stale = gate(findings, baseline)
+    if stale:
+        print("tidy.py: stale baseline entries (debt was paid down — "
+              "ratchet with --update-baseline):")
+        for key in stale:
+            print(f"  {key}")
+    if new_lines:
+        print("tidy.py: NEW clang-tidy findings (not in "
+              "scripts/tidy_baseline.json):", file=sys.stderr)
+        for line in new_lines:
+            print(line, file=sys.stderr)
+        print("tidy.py: fix the findings (preferred) or, for "
+              "deliberate debt, re-baseline with --update-baseline",
+              file=sys.stderr)
+        return 1
+    total = sum(len(lines) for lines in findings.values())
+    print(f"tidy.py: clean — {total} finding(s), all within baseline "
+          f"({len(sources)} sources)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

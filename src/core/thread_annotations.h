@@ -1,0 +1,101 @@
+#ifndef HYGNN_CORE_THREAD_ANNOTATIONS_H_
+#define HYGNN_CORE_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis macros (no-ops on other compilers).
+//
+// These attributes teach -Wthread-safety which lock protects which
+// data, so lock-discipline violations are *compile errors* under clang
+// (the root CMakeLists promotes -Wthread-safety to -Werror for clang
+// builds; scripts/check.sh and CI run such a build when clang++ is
+// available). GCC builds compile the annotations away and enforce
+// nothing — the clang build in CI is the gate.
+//
+// The analysis only sees locks it can name, which is why the repo bans
+// bare std::mutex outside src/core/ (scripts/lint.py rule 12): all
+// concurrency routes through the annotated core::Mutex / core::MutexLock
+// / core::CondVar wrappers in src/core/mutex.h.
+//
+// Usage summary (see DESIGN.md §11 for the full contract):
+//   core::Mutex mu_;
+//   int value_ HYGNN_GUARDED_BY(mu_);          // reads+writes need mu_
+//   int* ptr_ HYGNN_PT_GUARDED_BY(mu_);        // *ptr_ needs mu_
+//   void Mutate() HYGNN_EXCLUDES(mu_);         // locks mu_ internally
+//   void MutateLocked() HYGNN_REQUIRES(mu_);   // caller must hold mu_
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__)
+#define HYGNN_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define HYGNN_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" is the conventional
+/// capability kind; error messages read "mutex 'mu_' is not held").
+#define HYGNN_CAPABILITY(x) \
+  HYGNN_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (core::MutexLock).
+#define HYGNN_SCOPED_CAPABILITY \
+  HYGNN_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define HYGNN_GUARDED_BY(x) HYGNN_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be accessed while holding `x`
+/// (the pointer itself is unguarded).
+#define HYGNN_PT_GUARDED_BY(x) \
+  HYGNN_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Documents (and checks) lock-acquisition order between two mutexes.
+#define HYGNN_ACQUIRED_BEFORE(...) \
+  HYGNN_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define HYGNN_ACQUIRED_AFTER(...) \
+  HYGNN_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Function requires the caller to already hold the capability
+/// (exclusively / shared).
+#define HYGNN_REQUIRES(...) \
+  HYGNN_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define HYGNN_REQUIRES_SHARED(...) \
+  HYGNN_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define HYGNN_ACQUIRE(...) \
+  HYGNN_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define HYGNN_ACQUIRE_SHARED(...) \
+  HYGNN_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability the caller held on entry.
+#define HYGNN_RELEASE(...) \
+  HYGNN_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define HYGNN_RELEASE_SHARED(...) \
+  HYGNN_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts to acquire; first argument is the return value
+/// that signals success, e.g. HYGNN_TRY_ACQUIRE(true).
+#define HYGNN_TRY_ACQUIRE(...) \
+  HYGNN_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (it acquires it
+/// itself — calling with it held would self-deadlock).
+#define HYGNN_EXCLUDES(...) \
+  HYGNN_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for code the analysis
+/// cannot follow, e.g. lock acquired through an opaque callback).
+#define HYGNN_ASSERT_CAPABILITY(x) \
+  HYGNN_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Accessor returning a reference to the capability guarding the class.
+#define HYGNN_RETURN_CAPABILITY(x) \
+  HYGNN_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: suppress the analysis for one function. Every use
+/// needs a comment justifying why the analysis cannot see the truth
+/// (e.g. adopt/release tricks inside core::CondVar::Wait).
+#define HYGNN_NO_THREAD_SAFETY_ANALYSIS \
+  HYGNN_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // HYGNN_CORE_THREAD_ANNOTATIONS_H_

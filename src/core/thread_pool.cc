@@ -26,10 +26,10 @@ ThreadPool::ThreadPool(int32_t num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  job_ready_.notify_all();
+  job_ready_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
@@ -38,10 +38,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      job_ready_.wait(lock, [&] {
-        return shutdown_ || (job_ != nullptr && generation_ != seen_generation);
-      });
+      MutexLock lock(mutex_);
+      while (!shutdown_ &&
+             !(job_ != nullptr && generation_ != seen_generation)) {
+        job_ready_.Wait(mutex_);
+      }
       if (shutdown_) return;
       seen_generation = generation_;
       job = job_;
@@ -65,7 +66,7 @@ void ThreadPool::RunChunks(Job* job) {
         (*job->fn)(lo, hi);
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(job->error_mutex);
+          MutexLock lock(job->error_mutex);
           if (!job->error) job->error = std::current_exception();
         }
         job->failed.store(true, std::memory_order_release);
@@ -76,8 +77,8 @@ void ThreadPool::RunChunks(Job* job) {
     if (done == job->num_chunks) {
       // Lock pairs with the caller's predicate check to avoid a missed
       // wakeup between its done_chunks load and its wait.
-      std::lock_guard<std::mutex> lock(mutex_);
-      job_done_.notify_all();
+      MutexLock lock(mutex_);
+      job_done_.NotifyAll();
     }
   }
 }
@@ -99,32 +100,39 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   job->num_chunks = (range + grain - 1) / grain;
   job->fn = &fn;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = job;
     ++generation_;
   }
-  job_ready_.notify_all();
+  job_ready_.NotifyAll();
 
   t_inside_parallel_for = true;
   RunChunks(job.get());
   t_inside_parallel_for = false;
 
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    job_done_.wait(lock, [&] {
-      return job->done_chunks.load(std::memory_order_acquire) ==
-             job->num_chunks;
-    });
+    MutexLock lock(mutex_);
+    while (job->done_chunks.load(std::memory_order_acquire) !=
+           job->num_chunks) {
+      job_done_.Wait(mutex_);
+    }
     job_ = nullptr;
   }
-  if (job->error) std::rethrow_exception(job->error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(job->error_mutex);
+    error = job->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 namespace {
 
-std::mutex g_pool_mutex;
-ThreadPool* g_pool = nullptr;  // null while the count is 1
-int32_t g_num_threads = 0;     // 0 = not yet resolved
+Mutex g_pool_mutex;
+/// Null while the count is 1.
+ThreadPool* g_pool HYGNN_GUARDED_BY(g_pool_mutex) = nullptr;
+/// 0 = not yet resolved.
+int32_t g_num_threads HYGNN_GUARDED_BY(g_pool_mutex) = 0;
 
 int32_t ResolveDefaultThreads() {
   const int64_t from_env = EnvInt("HYGNN_NUM_THREADS", 0);
@@ -134,14 +142,14 @@ int32_t ResolveDefaultThreads() {
 }  // namespace
 
 int32_t NumThreads() {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   if (g_num_threads == 0) g_num_threads = ResolveDefaultThreads();
   return g_num_threads;
 }
 
 void SetNumThreads(int32_t n) {
   n = std::max<int32_t>(1, n);
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   if (n == g_num_threads) return;
   delete g_pool;
   g_pool = n > 1 ? new ThreadPool(n) : nullptr;
@@ -154,7 +162,7 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   if (end <= begin) return;
   ThreadPool* pool;
   {
-    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    MutexLock lock(g_pool_mutex);
     if (g_num_threads == 0) {
       g_num_threads = ResolveDefaultThreads();
       if (g_num_threads > 1) g_pool = new ThreadPool(g_num_threads);

@@ -6,9 +6,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace hygnn::obs {
 
@@ -24,7 +26,8 @@ namespace hygnn::obs {
 /// kernel worker threads (core::ParallelFor) can record into shared
 /// metrics without locks on the hot path. Registration (GetCounter /
 /// GetGauge / GetHistogram) takes a mutex — do it once at setup, not
-/// per-sample.
+/// per-sample. The registry maps are HYGNN_GUARDED_BY-annotated, so
+/// clang's -Wthread-safety proves every access holds the lock.
 
 namespace internal {
 extern std::atomic<bool> g_metrics_enabled;
@@ -153,10 +156,13 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable core::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      HYGNN_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      HYGNN_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      HYGNN_GUARDED_BY(mutex_);
 };
 
 /// Wall-clock timer over std::chrono::steady_clock. The obs-sanctioned

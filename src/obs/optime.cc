@@ -38,13 +38,6 @@ struct PendingSpan {
 
 thread_local std::vector<PendingSpan> t_pending;
 
-uint64_t NowNanos() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
 /// Finds (or claims) the slot for `op`. Tags are static strings, but
 /// identical literals in different translation units may have distinct
 /// addresses, so matching falls back to strcmp after the pointer check.
@@ -81,6 +74,13 @@ void Record(const char* op, uint64_t nanos, bool backward) {
 void SetKernelTimingEnabled(bool enabled) {
   internal::g_kernel_timing_enabled.store(enabled,
                                           std::memory_order_relaxed);
+}
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 void OpStart(const void* token) {

@@ -38,6 +38,12 @@ inline bool KernelTimingEnabled() {
 /// Turns per-op timing on or off process-wide. Off is the default.
 void SetKernelTimingEnabled(bool enabled);
 
+/// Monotonic (steady_clock) timestamp in nanoseconds. The sanctioned
+/// raw-clock read for callers outside src/obs that time spans feeding
+/// this attribution table (e.g. Tensor::Backward) — scripts/lint.py
+/// rule 10 keeps direct std::chrono clock reads out of those layers.
+uint64_t NowNanos();
+
 /// Marks the start of the op that will produce `token` (the output
 /// TensorImpl address — an opaque match key). No-op when disabled.
 void OpStart(const void* token);

@@ -105,15 +105,19 @@ MetricsRecorder::MetricsRecorder(std::string path)
 
 void MetricsRecorder::Event(std::string json_object) {
   if (!active()) return;
+  core::MutexLock lock(mutex_);
   events_.push_back(std::move(json_object));
 }
 
 Status MetricsRecorder::Flush() const {
   if (!active()) return Status::Ok();
   std::string body;
-  for (const auto& event : events_) {
-    body += event;
-    body += '\n';
+  {
+    core::MutexLock lock(mutex_);
+    for (const auto& event : events_) {
+      body += event;
+      body += '\n';
+    }
   }
   for (const auto& snap : MetricsRegistry::Global().Snapshot()) {
     JsonWriter line;

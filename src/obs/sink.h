@@ -6,7 +6,9 @@
 #include <string_view>
 #include <vector>
 
+#include "core/mutex.h"
 #include "core/status.h"
+#include "core/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/optime.h"
 
@@ -46,6 +48,10 @@ class JsonWriter {
 ///    "p50":...,"p95":...,"p99":...}             — microsecond latencies
 ///   {"type":"op","name":...,"forward_calls":...,"forward_ms":...,
 ///    "backward_calls":...,"backward_ms":...}    — kernel op attribution
+///
+/// Thread-safety: Event and Flush may race (concurrent workers sharing
+/// one recorder); the event buffer is mutex-guarded and annotated, so
+/// the discipline is checked by clang's -Wthread-safety.
 class MetricsRecorder {
  public:
   /// `path` is where Flush writes; an empty path makes the recorder
@@ -58,16 +64,17 @@ class MetricsRecorder {
 
   /// Appends one pre-built JSON object (use JsonWriter) as an event
   /// line. Buffered in memory until Flush.
-  void Event(std::string json_object);
+  void Event(std::string json_object) HYGNN_EXCLUDES(mutex_);
 
   /// Writes events + registry snapshot + op times to path() atomically
   /// with a CRC trailer. Safe to call repeatedly (later flushes rewrite
   /// the file with the fuller picture).
-  core::Status Flush() const;
+  core::Status Flush() const HYGNN_EXCLUDES(mutex_);
 
  private:
   std::string path_;
-  std::vector<std::string> events_;
+  mutable core::Mutex mutex_;
+  std::vector<std::string> events_ HYGNN_GUARDED_BY(mutex_);
 };
 
 /// Reads a Flush()ed metrics file through `ActiveFileSystem`, verifies

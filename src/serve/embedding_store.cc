@@ -30,6 +30,7 @@ EmbeddingStore::EmbeddingStore(const model::HyGnnModel* model)
 }
 
 Status EmbeddingStore::Rebuild(const model::HypergraphContext& context) {
+  core::MutexLock lock(mutex_);
   if (context.edge_features == nullptr) {
     return Status::InvalidArgument("context has no edge features");
   }
@@ -86,6 +87,12 @@ Status EmbeddingStore::Rebuild(const model::HypergraphContext& context) {
 }
 
 Result<int32_t> EmbeddingStore::AddDrug(
+    const std::vector<int32_t>& substructures) {
+  core::MutexLock lock(mutex_);
+  return AddDrugLocked(substructures);
+}
+
+Result<int32_t> EmbeddingStore::AddDrugLocked(
     const std::vector<int32_t>& substructures) {
   namespace kernels = tensor::kernels;
   if (!valid_) {
@@ -271,12 +278,13 @@ Result<int32_t> EmbeddingStore::AddDrugNamed(
   if (external_id.empty()) {
     return Status::InvalidArgument("empty external drug id");
   }
+  core::MutexLock lock(mutex_);
   if (auto it = names_.find(external_id); it != names_.end()) {
     return Status::AlreadyExists(
         "drug \"" + external_id + "\" is already registered as row " +
         std::to_string(it->second));
   }
-  auto row = AddDrug(substructures);
+  auto row = AddDrugLocked(substructures);
   if (!row.ok()) return row.status();
   names_.emplace(external_id, row.value());
   return row;
@@ -284,6 +292,7 @@ Result<int32_t> EmbeddingStore::AddDrugNamed(
 
 Result<int32_t> EmbeddingStore::FindDrug(
     const std::string& external_id) const {
+  core::MutexLock lock(mutex_);
   auto it = names_.find(external_id);
   if (it == names_.end()) {
     return Status::NotFound("no drug registered as \"" + external_id +

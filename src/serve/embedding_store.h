@@ -6,7 +6,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/mutex.h"
 #include "core/status.h"
+#include "core/thread_annotations.h"
 #include "data/featurize.h"
 #include "hygnn/encoder.h"
 #include "hygnn/model.h"
@@ -34,6 +36,14 @@ namespace hygnn::serve {
 /// Invalidate marks the cache stale (call it after reloading model
 /// weights) and every read path refuses to serve until the next
 /// Rebuild.
+///
+/// Thread-safety: every *mutating* entry point (Rebuild, AddDrug*,
+/// Invalidate) serializes on an internal annotated mutex, so concurrent
+/// catalog growth is safe; the external-id registry is fully
+/// mutex-guarded (FindDrug locks too). Read paths over the embedding
+/// buffer (Row, num_drugs, valid) stay lock-free for scorer workers and
+/// must not race a mutator — consumers detect change via generation()
+/// and the future serve::Server quiesces scoring around mutations.
 class EmbeddingStore {
  public:
   /// `model` must outlive the store. The store starts invalid; call
@@ -43,20 +53,22 @@ class EmbeddingStore {
   /// Encodes every drug in `context` and replaces the cache. Also
   /// snapshots the encoder intermediates AddDrug needs (single-layer
   /// models; deeper stacks can Rebuild and Score but not AddDrug).
-  core::Status Rebuild(const model::HypergraphContext& context);
+  core::Status Rebuild(const model::HypergraphContext& context)
+      HYGNN_EXCLUDES(mutex_);
 
   /// Appends one drug given its substructure node ids (duplicates and
   /// ordering don't matter; ids must be within the encoder input
   /// vocabulary). Returns the new drug's id. Requires a valid store
   /// backed by a single-layer encoder.
-  core::Result<int32_t> AddDrug(const std::vector<int32_t>& substructures);
+  core::Result<int32_t> AddDrug(const std::vector<int32_t>& substructures)
+      HYGNN_EXCLUDES(mutex_);
 
   /// ESPF-segments `smiles` against the featurizer's fixed vocabulary,
   /// then AddDrug on the resulting ids. The featurizer's vocabulary
   /// must match the model input dimension.
   core::Result<int32_t> AddDrugSmiles(
       const data::SubstructureFeaturizer& featurizer,
-      const std::string& smiles);
+      const std::string& smiles) HYGNN_EXCLUDES(mutex_);
 
   /// AddDrug under an external identifier (e.g. a DrugBank accession).
   /// Rejects an already-registered id with AlreadyExists *before*
@@ -64,15 +76,19 @@ class EmbeddingStore {
   /// rows. The registry is cleared by Rebuild (row ids are reassigned).
   core::Result<int32_t> AddDrugNamed(
       const std::string& external_id,
-      const std::vector<int32_t>& substructures);
+      const std::vector<int32_t>& substructures) HYGNN_EXCLUDES(mutex_);
 
   /// Row id previously returned by AddDrugNamed for `external_id`;
   /// NotFound when the id was never registered (or a Rebuild cleared it).
-  core::Result<int32_t> FindDrug(const std::string& external_id) const;
+  core::Result<int32_t> FindDrug(const std::string& external_id) const
+      HYGNN_EXCLUDES(mutex_);
 
   /// Marks the cache stale without touching its contents. Read paths
   /// fail until the next Rebuild.
-  void Invalidate() { valid_ = false; }
+  void Invalidate() HYGNN_EXCLUDES(mutex_) {
+    core::MutexLock lock(mutex_);
+    valid_ = false;
+  }
 
   bool valid() const { return valid_; }
 
@@ -88,7 +104,17 @@ class EmbeddingStore {
   const float* Row(int32_t drug) const;
 
  private:
+  /// Body of AddDrug; factored out so AddDrugNamed can extend the cache
+  /// while already holding the mutator lock.
+  core::Result<int32_t> AddDrugLocked(
+      const std::vector<int32_t>& substructures) HYGNN_REQUIRES(mutex_);
+
   const model::HyGnnModel* model_;
+  /// Serializes every mutating entry point. The embedding buffers below
+  /// are written only under this lock but read lock-free (see the class
+  /// comment); only names_ is fully guarded on both sides, so only it
+  /// carries the GUARDED_BY annotation.
+  mutable core::Mutex mutex_;
   bool valid_ = false;
   uint64_t generation_ = 0;
   int32_t num_drugs_ = 0;
@@ -106,7 +132,7 @@ class EmbeddingStore {
   std::vector<std::vector<int32_t>> incident_;
   /// External id -> row id for drugs added via AddDrugNamed. Cleared on
   /// Rebuild, which reassigns row ids.
-  std::unordered_map<std::string, int32_t> names_;
+  std::unordered_map<std::string, int32_t> names_ HYGNN_GUARDED_BY(mutex_);
 };
 
 }  // namespace hygnn::serve

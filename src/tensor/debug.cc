@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <mutex>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "core/logging.h"
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace hygnn::tensor {
 
@@ -161,8 +162,8 @@ namespace {
 std::atomic<bool> g_enabled{false};
 std::atomic<bool> g_fatal{false};
 std::atomic<bool> g_triggered{false};
-std::mutex g_report_mutex;
-std::string g_report;  // guarded by g_report_mutex
+core::Mutex g_report_mutex;
+std::string g_report HYGNN_GUARDED_BY(g_report_mutex);
 
 }  // namespace
 
@@ -184,12 +185,12 @@ bool NumericsGuard::triggered() {
 }
 
 std::string NumericsGuard::report() {
-  std::lock_guard<std::mutex> lock(g_report_mutex);
+  core::MutexLock lock(g_report_mutex);
   return g_report;
 }
 
 void NumericsGuard::Reset() {
-  std::lock_guard<std::mutex> lock(g_report_mutex);
+  core::MutexLock lock(g_report_mutex);
   g_report.clear();
   g_triggered.store(false, std::memory_order_release);
 }
@@ -235,7 +236,7 @@ void GuardOpResult(const std::shared_ptr<TensorImpl>& out) {
   os << "\n  trace: " << ProducerTrace(out.get());
 
   {
-    std::lock_guard<std::mutex> lock(g_report_mutex);
+    core::MutexLock lock(g_report_mutex);
     if (g_triggered.load(std::memory_order_relaxed)) return;
     g_report = os.str();
     g_triggered.store(true, std::memory_order_release);

@@ -1,7 +1,6 @@
 #include "tensor/tensor.h"
 
 #include <atomic>
-#include <chrono>
 #include <unordered_set>
 
 #include "core/logging.h"
@@ -110,14 +109,9 @@ void Tensor::Backward() {
       if (time_ops) {
         // Attribute each node's gradient kernel to its producing op —
         // the backward half of the obs per-op attribution table.
-        const auto start = std::chrono::steady_clock::now();
+        const uint64_t start = obs::NowNanos();
         (*it)->backward_fn();
-        obs::RecordBackward(
-            (*it)->op,
-            static_cast<uint64_t>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now() - start)
-                    .count()));
+        obs::RecordBackward((*it)->op, obs::NowNanos() - start);
       } else {
         (*it)->backward_fn();
       }
