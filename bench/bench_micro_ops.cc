@@ -7,7 +7,11 @@
 // (MatMul, SegmentSoftmax, SegmentSum, IndexSelectRows, Relu) at 1, 2,
 // and 4 threads, verifying bit-identical outputs against the 1-thread
 // reference and writing machine-readable JSON to BENCH_micro_ops.json
-// (override with --json_out=PATH). Pass --gbench to additionally run
+// (override with --json_out=PATH), followed by a fused-vs-unfused
+// elementwise-chain comparison (dropout -> leaky-relu -> scale, forward
+// and backward) that reports wall time, executed-op count, and buffer
+// allocation count per iteration and verifies the two modes produce
+// bit-identical loss and gradients. Pass --gbench to additionally run
 // the google-benchmark suite below (plus any --benchmark_* flags).
 
 #include <benchmark/benchmark.h>
@@ -30,6 +34,8 @@
 #include "tensor/init.h"
 #include "tensor/ops.h"
 #include "tensor/sparse.h"
+#include "tensor/tape.h"
+#include "tensor/tensor.h"
 
 namespace hygnn {
 namespace {
@@ -40,7 +46,9 @@ void BM_MatMul(benchmark::State& state) {
   tensor::Tensor a = tensor::NormalInit(n, n, 1.0f, &rng, false);
   tensor::Tensor b = tensor::NormalInit(n, n, 1.0f, &rng, false);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+    // data() forces the lazy tape to execute; without it the loop would
+    // only measure op recording.
+    benchmark::DoNotOptimize(tensor::MatMul(a, b).data()[0]);
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
@@ -81,8 +89,9 @@ void BM_SegmentSoftmaxSum(benchmark::State& state) {
   for (auto _ : state) {
     tensor::Tensor alpha =
         tensor::SegmentSoftmax(scores, segment_ids, segments);
-    benchmark::DoNotOptimize(tensor::SegmentSum(
-        tensor::MulColumnBroadcast(values, alpha), segment_ids, segments));
+    tensor::Tensor pooled = tensor::SegmentSum(
+        tensor::MulColumnBroadcast(values, alpha), segment_ids, segments);
+    benchmark::DoNotOptimize(pooled.data()[0]);  // materialize the tape
   }
   state.SetItemsProcessed(state.iterations() * pairs * 64);
 }
@@ -106,7 +115,8 @@ void BM_HyGnnEncoderForward(benchmark::State& state) {
   model::HypergraphEdgeEncoder encoder(featurizer.num_substructures(),
                                        encoder_config, &rng);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(encoder.Forward(context, false, nullptr));
+    // data() forces the lazy tape to execute the recorded forward pass.
+    benchmark::DoNotOptimize(encoder.Forward(context, false, nullptr).data()[0]);
   }
   state.SetItemsProcessed(state.iterations() * hypergraph.num_incidences());
 }
@@ -271,6 +281,88 @@ std::vector<float> TensorData(const tensor::Tensor& t) {
   return std::vector<float>(t.data(), t.data() + t.size());
 }
 
+// ---------------------------------------------------------------------------
+// Fused-vs-unfused elementwise chain (tape fusion pass, DESIGN.md 12)
+// ---------------------------------------------------------------------------
+
+/// One timed configuration of the dropout -> leaky-relu -> scale chain,
+/// forward and backward, with fusion on or off.
+struct FusionChainResult {
+  bool fused = false;
+  double ns_per_iter = 0.0;
+  double ops_per_iter = 0.0;     // tape executor kernel invocations
+  double allocs_per_iter = 0.0;  // output buffers allocated
+  int64_t fused_groups = 0;
+  bool bit_identical = true;  // vs the unfused run (loss + input grad)
+  std::vector<float> loss_and_grad;
+};
+
+FusionChainResult RunFusionChain(bool fused, const std::vector<float>& base,
+                                 int64_t n, int64_t d) {
+  tensor::SetFusionEnabled(fused);
+  FusionChainResult result;
+  result.fused = fused;
+  const auto step = [&] {
+    // Fresh leaf every iteration so gradients never accumulate across
+    // runs; re-seeding draws identical dropout masks in both modes.
+    tensor::Tensor x =
+        tensor::Tensor::FromVector(base, n, d, /*requires_grad=*/true);
+    core::Rng rng(17);
+    tensor::Tensor loss = tensor::ReduceMean(tensor::Scale(
+        tensor::LeakyRelu(tensor::Dropout(x, 0.3f, true, &rng), 0.1f),
+        0.5f));
+    loss.Backward();
+    std::vector<float> out;
+    out.reserve(1 + static_cast<size_t>(x.size()));
+    out.push_back(loss.item());
+    out.insert(out.end(), x.grad(), x.grad() + x.size());
+    return out;
+  };
+  result.loss_and_grad = step();  // warmup; output doubles as reference
+  tensor::ResetExecStats();
+  core::Stopwatch watch;
+  int64_t iters = 0;
+  do {
+    step();
+    ++iters;
+  } while (watch.ElapsedSeconds() < 0.2 && iters < 64);
+  const double seconds = watch.ElapsedSeconds();
+  const auto stats = tensor::ExecStats();
+  result.ns_per_iter = seconds * 1e9 / static_cast<double>(iters);
+  result.ops_per_iter =
+      static_cast<double>(stats.ops_executed) / static_cast<double>(iters);
+  result.allocs_per_iter = static_cast<double>(stats.buffers_allocated) /
+                           static_cast<double>(iters);
+  result.fused_groups = stats.fused_groups;
+  return result;
+}
+
+/// Runs the chain with fusion off then on and cross-checks bit-identity.
+std::vector<FusionChainResult> RunFusionComparison() {
+  const int64_t n = 4096, d = 64;
+  core::Rng rng(9);
+  std::vector<float> base(static_cast<size_t>(n * d));
+  for (auto& v : base) v = rng.UniformFloat() * 2.0f - 1.0f;
+  std::vector<FusionChainResult> results;
+  results.push_back(RunFusionChain(false, base, n, d));
+  results.push_back(RunFusionChain(true, base, n, d));
+  tensor::SetFusionEnabled(true);  // restore the default
+  const auto& reference = results[0].loss_and_grad;
+  for (auto& r : results) {
+    r.bit_identical =
+        r.loss_and_grad.size() == reference.size() &&
+        std::memcmp(r.loss_and_grad.data(), reference.data(),
+                    reference.size() * sizeof(float)) == 0;
+    std::printf("FusedChain %6lldx%-5lld fuse=%d  %12.0f ns/iter  "
+                "%5.1f ops/iter  %5.1f allocs/iter  %s\n",
+                static_cast<long long>(n), static_cast<long long>(d),
+                r.fused ? 1 : 0, r.ns_per_iter, r.ops_per_iter,
+                r.allocs_per_iter,
+                r.bit_identical ? "bit-identical" : "MISMATCH");
+  }
+  return results;
+}
+
 int RunScalingHarness(const std::string& json_path) {
   std::vector<ScalingResult> results;
 
@@ -325,6 +417,8 @@ int RunScalingHarness(const std::string& json_path) {
                  &results);
   }
 
+  const std::vector<FusionChainResult> fusion = RunFusionComparison();
+
   std::FILE* file = std::fopen(json_path.c_str(), "w");
   if (file == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -342,6 +436,18 @@ int RunScalingHarness(const std::string& json_path) {
                  r.speedup_vs_1t, r.bit_identical ? "true" : "false",
                  i + 1 < results.size() ? "," : "");
   }
+  std::fprintf(file, "  ],\n  \"fused_chain\": [\n");
+  for (size_t i = 0; i < fusion.size(); ++i) {
+    const auto& r = fusion[i];
+    std::fprintf(file,
+                 "    {\"chain\": \"Dropout|LeakyRelu|Scale\", "
+                 "\"fused\": %s, \"ns_per_iter\": %.1f, "
+                 "\"ops_per_iter\": %.1f, \"allocs_per_iter\": %.1f, "
+                 "\"bit_identical\": %s}%s\n",
+                 r.fused ? "true" : "false", r.ns_per_iter, r.ops_per_iter,
+                 r.allocs_per_iter, r.bit_identical ? "true" : "false",
+                 i + 1 < fusion.size() ? "," : "");
+  }
   std::fprintf(file, "  ]\n}\n");
   std::fclose(file);
   std::printf("wrote %s\n", json_path.c_str());
@@ -350,6 +456,15 @@ int RunScalingHarness(const std::string& json_path) {
     if (!r.bit_identical) {
       std::fprintf(stderr, "FAIL: %s at %d threads is not bit-identical\n",
                    r.op.c_str(), r.threads);
+      return 1;
+    }
+  }
+  for (const auto& r : fusion) {
+    if (!r.bit_identical) {
+      std::fprintf(stderr,
+                   "FAIL: fused chain (fuse=%d) is not bit-identical to the "
+                   "unfused reference\n",
+                   r.fused ? 1 : 0);
       return 1;
     }
   }

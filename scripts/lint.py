@@ -39,6 +39,11 @@ the bit-identity guarantee survives concurrent code):
      routes through the annotated core::Mutex wrappers
      (src/core/mutex.h) so Clang Thread Safety Analysis sees every
      acquisition
+ 13. src/tensor/ops.cc never invokes the kernel layer directly (no
+     `kernels::` calls, no `#include "tensor/kernels/...`) — ops only
+     *record* tape nodes (tensor/tape.h); all kernel dispatch lives in
+     the tape executor, which is what lets the fusion pass rewrite
+     execution without touching the op API
 
 Exits 0 when clean, 1 with one line per violation otherwise.
 """
@@ -67,6 +72,13 @@ RAW_LOOP = re.compile(r"(?<![\w_])(for|while)\s*\(")
 # Files that must stay loop-free: the autograd layer delegates all
 # numeric iteration to the kernel layer (src/tensor/kernels/).
 NO_LOOP_FILES = {"src/tensor/ops.cc"}
+
+RAW_KERNEL_CALL = re.compile(
+    r"\bkernels\s*::\s*\w+|#\s*include\s*\"tensor/kernels/")
+
+# Files that must never invoke the kernel layer: the op layer records
+# tape nodes only (tensor/tape.h); dispatch belongs to the executor.
+NO_KERNEL_CALL_FILES = {"src/tensor/ops.cc"}
 
 RAW_FILE_STREAM = re.compile(
     r"(?:std::)?(?:o|i)?fstream\b|#\s*include\s*<fstream>")
@@ -231,6 +243,34 @@ def check_no_raw_loops(path, text, problems):
                 "compute into src/tensor/kernels/ and call the kernel")
 
 
+def check_no_kernel_calls(path, text, problems):
+    """Rule 13: the op layer records tape nodes; it never dispatches to
+    the kernel layer itself (that is the tape executor's job)."""
+    in_block_comment = False
+    for i, line in enumerate(text.splitlines(), 1):
+        code = line
+        if in_block_comment:
+            end = code.find("*/")
+            if end < 0:
+                continue
+            code = code[end + 2:]
+            in_block_comment = False
+        while "/*" in code:
+            start = code.find("/*")
+            end = code.find("*/", start + 2)
+            if end < 0:
+                code = code[:start]
+                in_block_comment = True
+                break
+            code = code[:start] + code[end + 2:]
+        code = LINE_COMMENT.sub("", code)
+        if RAW_KERNEL_CALL.search(code):
+            problems.append(
+                f"{path}:{i}: [rule 13] direct kernel invocation in the "
+                "op layer — record a tape node (tensor/tape.h) and let "
+                "the executor dispatch it")
+
+
 def check_no_stopwatch(path, text, problems):
     for i, line in enumerate(text.splitlines(), 1):
         code = LINE_COMMENT.sub("", line)
@@ -320,6 +360,8 @@ def main():
             check_raw_assert(path, text, problems)
         if path in NO_LOOP_FILES:
             check_no_raw_loops(path, text, problems)
+        if path in NO_KERNEL_CALL_FILES:
+            check_no_kernel_calls(path, text, problems)
         if path.startswith(NO_RAW_STREAM_DIRS):
             check_no_raw_file_streams(path, text, problems)
         if path.startswith(NO_STOPWATCH_DIRS):

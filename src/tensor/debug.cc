@@ -10,6 +10,7 @@
 #include "core/logging.h"
 #include "core/mutex.h"
 #include "core/thread_annotations.h"
+#include "tensor/tape.h"
 
 namespace hygnn::tensor {
 
@@ -109,9 +110,16 @@ LintReport GraphLint(const Tensor& root) {
 
   for (TensorImpl* node : nodes) {
     const int64_t expected = node->rows * node->cols;
-    if (static_cast<int64_t>(node->data.size()) != expected ||
-        (!node->grad.empty() &&
-         static_cast<int64_t>(node->grad.size()) != expected)) {
+    // Tape nodes legitimately carry empty data: pending ops have not
+    // executed yet, and fused interior members are never written (the
+    // chain recomputes them per element). Their shapes are validated
+    // when/if the buffer exists.
+    const bool tape_empty_ok =
+        !node->materialized || (node->rec != nullptr && node->rec->fused_member);
+    if (!tape_empty_ok &&
+        (static_cast<int64_t>(node->data.size()) != expected ||
+         (!node->grad.empty() &&
+          static_cast<int64_t>(node->grad.size()) != expected))) {
       report.issues.push_back(
           {LintKind::kShapeMismatch,
            Describe(node) + " has data[" + std::to_string(node->data.size()) +
@@ -139,8 +147,18 @@ LintReport GraphLint(const Tensor& root) {
              Describe(node) +
                  " holds a backward_fn although requires_grad is false"});
       }
+    } else if (node->rec != nullptr && node->parents.empty()) {
+      // A tape record without parents cannot execute or run backward —
+      // same manual-surgery hazard as a parentless backward_fn. (The
+      // executor itself always clears rec and parents together.)
+      report.issues.push_back(
+          {LintKind::kDanglingBackwardFn,
+           Describe(node) +
+               " holds a tape record but its parent list was released; "
+               "the record can neither execute nor propagate gradients"});
     }
-    const bool is_leaf = node->parents.empty() && !node->backward_fn;
+    const bool is_leaf =
+        node->parents.empty() && !node->backward_fn && node->rec == nullptr;
     if (is_leaf && node->requires_grad && max_backward_runs > 0 &&
         node->grad.empty()) {
       report.issues.push_back(
@@ -207,6 +225,10 @@ NumericsGuardScope::~NumericsGuardScope() {
 }
 
 void GuardOpResult(const std::shared_ptr<TensorImpl>& out) {
+  GuardOpResult(out.get());
+}
+
+void GuardOpResult(TensorImpl* out) {
   if (!g_enabled.load(std::memory_order_relaxed)) return;
   if (g_triggered.load(std::memory_order_acquire)) return;
 
@@ -233,7 +255,7 @@ void GuardOpResult(const std::shared_ptr<TensorImpl>& out) {
          << (finite ? " (finite)" : " (already non-finite)");
     }
   }
-  os << "\n  trace: " << ProducerTrace(out.get());
+  os << "\n  trace: " << ProducerTrace(out);
 
   {
     core::MutexLock lock(g_report_mutex);

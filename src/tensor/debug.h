@@ -111,10 +111,11 @@ class NumericsGuardScope {
   bool previous_fatal_;
 };
 
-/// Hook called by operator implementations after the forward value is
-/// written (see ops.cc / loss.cc). No-op unless NumericsGuard is
-/// enabled and has not yet triggered.
+/// Hook called after an op's forward value is written (the tape
+/// executor for recorded ops, loss.cc for opaque eager ones). No-op
+/// unless NumericsGuard is enabled and has not yet triggered.
 void GuardOpResult(const std::shared_ptr<TensorImpl>& out);
+void GuardOpResult(TensorImpl* out);
 
 }  // namespace hygnn::tensor
 

@@ -1,0 +1,203 @@
+// Elementwise fusion pass over the linearized op tape (see fuse.h).
+
+#include "tensor/fuse.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "core/logging.h"
+#include "core/mutex.h"
+
+namespace hygnn::tensor {
+namespace {
+
+/// Kinds the fused kernels can chain. Everything here is elementwise
+/// and shape-preserving along its chain operand.
+bool FusableKind(OpKind kind) {
+  switch (kind) {
+    case OpKind::kRelu:
+    case OpKind::kLeakyRelu:
+    case OpKind::kSigmoid:
+    case OpKind::kTanh:
+    case OpKind::kExp:
+    case OpKind::kLog:
+    case OpKind::kScale:
+    case OpKind::kDropout:
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kMul:
+    case OpKind::kAddRowBroadcast:
+    case OpKind::kMulColumnBroadcast:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Which parent the chain flows through, or -1 when the node cannot be
+/// fused. The other operand (if any) becomes a side input, read but not
+/// differentiated — so a side that requires grad disqualifies the node:
+/// FusedChainBackward propagates along the chain only.
+int32_t ChainIndexOf(const TensorImpl* node) {
+  switch (node->rec->kind) {
+    case OpKind::kRelu:
+    case OpKind::kLeakyRelu:
+    case OpKind::kSigmoid:
+    case OpKind::kTanh:
+    case OpKind::kExp:
+    case OpKind::kLog:
+    case OpKind::kScale:
+    case OpKind::kDropout:
+      return 0;
+    case OpKind::kAddRowBroadcast:
+    case OpKind::kMulColumnBroadcast:
+      // The broadcast operand is always the side; it must not need grad.
+      return node->parents[1]->requires_grad ? -1 : 0;
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kMul:
+      // Chain through whichever operand leaves a no-grad side,
+      // preferring operand 0 for determinism when both qualify.
+      if (!node->parents[1]->requires_grad) return 0;
+      if (!node->parents[0]->requires_grad) return 1;
+      return -1;
+    default:
+      return -1;
+  }
+}
+
+/// Builds and interns the "Fused[A|B|C]" display name (head -> tail).
+/// The obs attribution table keys on `const char*`, so names live in a
+/// process-lifetime node-based set — pointers stay stable forever.
+const char* InternFusedName(const std::vector<TensorImpl*>& members) {
+  std::string name = "Fused[";
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (i > 0) name += '|';
+    name += members[i]->op;
+  }
+  name += ']';
+  static core::Mutex g_names_mutex;
+  static std::unordered_set<std::string>& g_names =
+      *new std::unordered_set<std::string>();
+  core::MutexLock lock(g_names_mutex);
+  return g_names.insert(std::move(name)).first->c_str();
+}
+
+}  // namespace
+
+void FuseEligibleChains(const std::vector<TensorImpl*>& order) {
+  // Walk consumers-first (reverse topological order) so each chain is
+  // grown from its tail toward its head and claimed greedily; a node
+  // claimed by one group is never revisited for another.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* tail = *it;
+    if (tail->rec == nullptr || tail->rec->group != nullptr ||
+        tail->rec->fused_member || !FusableKind(tail->rec->kind)) {
+      continue;
+    }
+    if (ChainIndexOf(tail) < 0) continue;
+    std::vector<TensorImpl*> members{tail};
+    std::vector<int32_t> chain_idx{ChainIndexOf(tail)};
+    while (static_cast<int32_t>(members.size()) < kernels::kMaxFusedChain) {
+      TensorImpl* cur = members.back();
+      const auto& parent_ref = cur->parents[chain_idx.back()];
+      TensorImpl* p = parent_ref.get();
+      // An interior member must be pending, un-grouped, fusable, and
+      // single-consumer: use_count == 1 means `cur` holds the only
+      // reference, so no external Tensor handle (and no other op) can
+      // ever observe the intermediate value we are about to skip.
+      if (p->materialized || p->rec == nullptr || p->rec->group != nullptr ||
+          p->rec->fused_member || !FusableKind(p->rec->kind) ||
+          ChainIndexOf(p) < 0 || parent_ref.use_count() != 1) {
+        break;
+      }
+      members.push_back(p);
+      chain_idx.push_back(ChainIndexOf(p));
+    }
+    if (members.size() < 2) continue;
+    // Collected tail-first; groups store execution order (head first).
+    std::reverse(members.begin(), members.end());
+    std::reverse(chain_idx.begin(), chain_idx.end());
+    auto group = std::make_shared<FusedGroup>();
+    group->head_input = members.front()->parents[chain_idx.front()].get();
+    group->name = InternFusedName(members);
+    group->members = members;
+    group->chain_parent = chain_idx;
+    for (size_t i = 0; i + 1 < members.size(); ++i) {
+      members[i]->rec->fused_member = true;
+    }
+    members.back()->rec->group = std::move(group);
+  }
+}
+
+void BuildFusedSteps(const FusedGroup& group,
+                     std::vector<kernels::FusedStep>* steps) {
+  steps->clear();
+  steps->reserve(group.members.size());
+  for (size_t i = 0; i < group.members.size(); ++i) {
+    const TensorImpl* m = group.members[i];
+    const int32_t ci = group.chain_parent[i];
+    kernels::FusedStep step;
+    switch (m->rec->kind) {
+      case OpKind::kRelu:
+        step.kind = kernels::FusedStep::Kind::kRelu;
+        break;
+      case OpKind::kLeakyRelu:
+        step.kind = kernels::FusedStep::Kind::kLeakyRelu;
+        step.alpha = m->rec->alpha;
+        break;
+      case OpKind::kSigmoid:
+        step.kind = kernels::FusedStep::Kind::kSigmoid;
+        break;
+      case OpKind::kTanh:
+        step.kind = kernels::FusedStep::Kind::kTanh;
+        break;
+      case OpKind::kExp:
+        step.kind = kernels::FusedStep::Kind::kExp;
+        break;
+      case OpKind::kLog:
+        step.kind = kernels::FusedStep::Kind::kLog;
+        step.alpha = m->rec->alpha;
+        break;
+      case OpKind::kScale:
+        step.kind = kernels::FusedStep::Kind::kScale;
+        step.alpha = m->rec->alpha;
+        break;
+      case OpKind::kDropout:
+        // Dropout is "multiply by the pre-drawn mask" at this layer, so
+        // it lowers to the same step as elementwise Mul.
+        step.kind = kernels::FusedStep::Kind::kMul;
+        step.side = m->rec->fbuf->data();
+        break;
+      case OpKind::kAdd:
+        step.kind = kernels::FusedStep::Kind::kAdd;
+        step.side = m->parents[1 - ci]->data.data();
+        break;
+      case OpKind::kSub:
+        step.kind = ci == 0 ? kernels::FusedStep::Kind::kSub
+                            : kernels::FusedStep::Kind::kSubFrom;
+        step.side = m->parents[1 - ci]->data.data();
+        break;
+      case OpKind::kMul:
+        step.kind = kernels::FusedStep::Kind::kMul;
+        step.side = m->parents[1 - ci]->data.data();
+        break;
+      case OpKind::kAddRowBroadcast:
+        step.kind = kernels::FusedStep::Kind::kAddRowBias;
+        step.side = m->parents[1]->data.data();
+        break;
+      case OpKind::kMulColumnBroadcast:
+        step.kind = kernels::FusedStep::Kind::kMulRowScale;
+        step.side = m->parents[1]->data.data();
+        break;
+      default:
+        HYGNN_CHECK(false) << "non-fusable kind in fused group";
+    }
+    steps->push_back(step);
+  }
+}
+
+}  // namespace hygnn::tensor

@@ -1,0 +1,64 @@
+#ifndef HYGNN_TENSOR_FUSE_H_
+#define HYGNN_TENSOR_FUSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/kernels/kernels.h"
+#include "tensor/tape.h"
+#include "tensor/tensor.h"
+
+namespace hygnn::tensor {
+
+/// Elementwise fusion pass over a linearized op tape (DESIGN.md §12).
+///
+/// A fused group is a chain of shape-preserving elementwise ops
+/// (Relu/LeakyRelu/Sigmoid/Tanh/Exp/Log/Scale/Dropout, elementwise
+/// Add/Sub/Mul, and the AddRowBroadcast/MulColumnBroadcast variants)
+/// where every intermediate value has exactly one consumer — the next
+/// op in the chain — and no external Tensor handle. The executor runs
+/// the whole chain as a single FusedChainForward kernel invocation,
+/// never allocating the intermediates; the backward pass recomputes the
+/// chain per element inside one FusedChainBackward call.
+///
+/// Fusion rules (each checked per member):
+///   * the op kind is fusable and shape-preserving along its chain
+///     input (binary/broadcast ops chain through one operand; the other
+///     — the side input — is read but never differentiated);
+///   * every side input must NOT require grad, because the fused
+///     backward propagates only along the chain;
+///   * interior members are single-consumer: the consumer's shared_ptr
+///     is the only reference (use_count == 1), so no external handle
+///     can ever observe the skipped intermediate;
+///   * chains have >= 2 members, capped at kernels::kMaxFusedChain.
+struct FusedGroup {
+  /// Chain members in execution order: deepest (head-side) first, the
+  /// tail — the only node whose data buffer is written — last. Raw
+  /// pointers; the tail's parent chain keeps every member alive.
+  std::vector<TensorImpl*> members;
+  /// Per member, the parent index its chain input flows through (always
+  /// 0 for unary and broadcast ops; 0 or 1 for binary elementwise).
+  std::vector<int32_t> chain_parent;
+  /// The chain's input node (the deepest member's chain parent) — where
+  /// FusedChainBackward accumulates dx.
+  TensorImpl* head_input = nullptr;
+  /// Interned "Fused[Dropout|LeakyRelu|Scale]" label (stable storage)
+  /// used by the obs per-op attribution table.
+  const char* name = "Fused";
+};
+
+/// Marks fusable chains in `order` (a topologically-sorted pending-op
+/// tape, parents before consumers): interior members get
+/// rec->fused_member, each tail gets rec->group. Nodes already in a
+/// group are never re-grouped.
+void FuseEligibleChains(const std::vector<TensorImpl*>& order);
+
+/// Translates a group's members into the kernel-layer step descriptors
+/// consumed by FusedChainForward/Backward. Side-input pointers are
+/// resolved at call time, after every side has materialized.
+void BuildFusedSteps(const FusedGroup& group,
+                     std::vector<kernels::FusedStep>* steps);
+
+}  // namespace hygnn::tensor
+
+#endif  // HYGNN_TENSOR_FUSE_H_

@@ -1,6 +1,8 @@
 #ifndef HYGNN_TENSOR_KERNELS_KERNELS_H_
 #define HYGNN_TENSOR_KERNELS_KERNELS_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include "core/thread_pool.h"
@@ -165,6 +167,109 @@ void RowwiseMapGradAccumulate(const float* x, const float* y, const float* g,
     for (int64_t i = lo; i < hi; ++i) dx[i] += g[i] * dydx(x[i], y[i]);
   });
 }
+
+// ---------------------------------------------------------------------------
+// Scalar activation bodies — shared by the standalone RowwiseMap path
+// and the fused-chain kernels below. Both paths calling the exact same
+// functions is what makes fused and unfused execution bit-identical.
+// ---------------------------------------------------------------------------
+
+inline float ScalarRelu(float v) { return v > 0.0f ? v : 0.0f; }
+inline float ScalarReluGrad(float x) { return x > 0.0f ? 1.0f : 0.0f; }
+
+inline float ScalarLeakyRelu(float v, float slope) {
+  return v >= 0.0f ? v : slope * v;
+}
+inline float ScalarLeakyReluGrad(float x, float slope) {
+  return x >= 0.0f ? 1.0f : slope;
+}
+
+/// Numerically-stable two-branch logistic (never exponentiates a
+/// positive argument).
+inline float ScalarSigmoid(float v) {
+  if (v >= 0.0f) {
+    const float z = std::exp(-v);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(v);
+  return z / (1.0f + z);
+}
+inline float ScalarSigmoidGrad(float y) { return y * (1.0f - y); }
+
+inline float ScalarTanh(float v) { return std::tanh(v); }
+inline float ScalarTanhGrad(float y) { return 1.0f - y * y; }
+
+inline float ScalarExp(float v) { return std::exp(v); }
+
+inline float ScalarLog(float v, float eps) {
+  return std::log(std::max(v, eps));
+}
+inline float ScalarLogGrad(float x, float eps) {
+  return 1.0f / std::max(x, eps);
+}
+
+// ---------------------------------------------------------------------------
+// Fused elementwise chains (tensor/fuse.h groups execute through these)
+// ---------------------------------------------------------------------------
+
+/// Longest op chain one fused kernel invocation may cover. Small enough
+/// for a stack-resident recompute buffer in the backward pass.
+inline constexpr int32_t kMaxFusedChain = 8;
+
+/// One link of a fused elementwise chain, describing how the chained
+/// value v transforms at that op. `side` points at the non-chain
+/// operand's materialized data for binary/broadcast links (the dropout
+/// mask for kMul links produced by Dropout); `alpha` carries the Scale
+/// factor, LeakyRelu slope, or Log epsilon.
+///
+/// Forward semantics reproduce what each standalone kernel writes into
+/// its zero-initialized output, including the `0.0f + ...`
+/// normalization of accumulate-into-zero kernels (Axpy, MulAccumulate,
+/// RowScaleAccumulate add into a zero buffer, which flushes a negative
+/// zero product to +0.0f — the fused path must match bit-for-bit):
+///   kRelu/kLeakyRelu/kSigmoid/kTanh/kExp/kLog: Scalar*(v)
+///   kScale:       0.0f + alpha * v
+///   kMul:         0.0f + v * side[i]
+///   kAdd:         v + side[i]
+///   kSub:         v - side[i]            (chain is the minuend)
+///   kSubFrom:     side[i] - v            (chain is the subtrahend)
+///   kAddRowBias:  v + side[col]          (side is [1, d])
+///   kMulRowScale: 0.0f + side[row] * v   (side is [n, 1])
+struct FusedStep {
+  enum class Kind : uint8_t {
+    kRelu,
+    kLeakyRelu,
+    kSigmoid,
+    kTanh,
+    kExp,
+    kLog,
+    kScale,
+    kMul,
+    kAdd,
+    kSub,
+    kSubFrom,
+    kAddRowBias,
+    kMulRowScale,
+  };
+  Kind kind = Kind::kRelu;
+  float alpha = 0.0f;
+  const float* side = nullptr;
+};
+
+/// out[i] = (step[num_steps-1] ∘ ... ∘ step[0])(x[i]) for an [n, d]
+/// tensor, one pass over the elements with no intermediate buffers.
+/// Parallel over elements with the standard kElementGrain chunking.
+void FusedChainForward(const float* x, float* out, int64_t n, int64_t d,
+                       const FusedStep* steps, int32_t num_steps);
+
+/// dx[i] += d(chain)/dx[i] * g[i], recomputing the chain's intermediate
+/// values per element. Each link's gradient factor is applied in the
+/// same operand order — and with the same accumulate-into-zero
+/// normalization for interior links — as the standalone backward
+/// kernels, so the result is bit-identical to running the unfused
+/// backward chain. num_steps must be <= kMaxFusedChain.
+void FusedChainBackward(const float* x, const float* g, int64_t n, int64_t d,
+                        const FusedStep* steps, int32_t num_steps, float* dx);
 
 // ---------------------------------------------------------------------------
 // segment.cc — per-segment attention primitives

@@ -16,6 +16,9 @@ Tensor BceWithLogitsLoss(const Tensor& logits,
   HYGNN_CHECK_EQ(logits.rows(), static_cast<int64_t>(targets.size()));
   const int64_t n = logits.rows();
   auto zi = logits.impl();
+  // This loss reads zi->data inline (it is an opaque eager op, not a
+  // recorded one), so a pending logits graph executes here.
+  MaterializeTensor(zi);
   for (float y : targets) {
     HYGNN_DCHECK(y >= 0.0f && y <= 1.0f)
         << "BceWithLogitsLoss target " << y << " outside [0, 1]";
@@ -102,6 +105,9 @@ Tensor SoftmaxCrossEntropyLoss(const Tensor& logits,
     HYGNN_CHECK(label >= 0 && label < k);
   }
   auto zi = logits.impl();
+  // Opaque eager op: reads zi->data inline, so execute any pending
+  // graph first.
+  MaterializeTensor(zi);
   auto out = std::make_shared<TensorImpl>();
   out->op = "SoftmaxCrossEntropyLoss";
   out->rows = 1;

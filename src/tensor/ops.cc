@@ -1,290 +1,100 @@
-// Autograd layer: shape checks, graph wiring, and forward/backward
-// dispatch. All numeric loops live in the kernel layer
-// (tensor/kernels/) — scripts/lint.py enforces that this file contains
-// no raw compute loops, which keeps the backend seam (threading, SIMD,
-// alternative kernels) below this file.
+// Operator layer: shape checks and graph wiring ONLY. Every op records
+// a pending tape node (tensor/tape.h) and returns without computing —
+// the executor in tape.cc owns all kernel dispatch, forward and
+// backward. scripts/lint.py enforces both halves of the seam: this
+// file contains no raw compute loops (rule 6) and no direct kernel
+// invocations (rule 13), which keeps the backend seam (threading,
+// SIMD, fusion, alternative kernels) entirely below the op API.
 
 #include "tensor/ops.h"
 
-#include <algorithm>
 #include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/logging.h"
-#include "obs/optime.h"
-#include "tensor/debug.h"
-#include "tensor/kernels/kernels.h"
+#include "tensor/tape.h"
 
 namespace hygnn::tensor {
-
-namespace {
-
-/// Allocates the output node for a unary/binary op and wires parents.
-/// `op` must be a static string; it labels the node for NumericsGuard /
-/// GraphLint reports. Under an InferenceModeScope the result is always
-/// detached: no parents, no backward_fn, requires_grad off.
-std::shared_ptr<TensorImpl> MakeOutput(
-    const char* op, int64_t rows, int64_t cols,
-    std::vector<std::shared_ptr<TensorImpl>> parents) {
-  auto out = std::make_shared<TensorImpl>();
-  out->op = op;
-  out->rows = rows;
-  out->cols = cols;
-  out->data.assign(static_cast<size_t>(rows * cols), 0.0f);
-  out->requires_grad =
-      !InferenceModeEnabled() &&
-      std::any_of(parents.begin(), parents.end(),
-                  [](const std::shared_ptr<TensorImpl>& p) {
-                    return p->requires_grad;
-                  });
-  if (out->requires_grad) out->parents = std::move(parents);
-  // Opens the per-op timing span (obs::OpFinish in FinishOp closes it
-  // and attributes the elapsed time to out->op). No-op unless
-  // obs::SetKernelTimingEnabled was called; never touches tensor data.
-  obs::OpStart(out.get());
-  return out;
-}
-
-bool NeedsGrad(const std::shared_ptr<TensorImpl>& node) {
-  return node->requires_grad;
-}
-
-/// Every op returns through here after its forward value is written so
-/// NumericsGuard can attribute the first NaN/Inf to the producing op.
-Tensor FinishOp(std::shared_ptr<TensorImpl> out) {
-  obs::OpFinish(out.get(), out->op);
-  GuardOpResult(out);
-  return Tensor(std::move(out));
-}
-
-}  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   HYGNN_CHECK(a.defined() && b.defined());
   HYGNN_CHECK_EQ(a.cols(), b.rows());
-  const int64_t n = a.rows(), k = a.cols(), m = b.cols();
-  auto ai = a.impl(), bi = b.impl();
-  auto out = MakeOutput("MatMul", n, m, {ai, bi});
-  kernels::MatMul(ai->data.data(), bi->data.data(), out->data.data(), n, k, m);
-  if (out->requires_grad) {
-    TensorImpl* oi = out.get();
-    out->backward_fn = [ai, bi, oi, n, k, m]() {
-      if (oi->grad.empty()) return;
-      const float* g = oi->grad.data();
-      if (NeedsGrad(ai)) {
-        ai->EnsureGrad();
-        // dA = G · Bᵀ via the transposed-operand kernel — no
-        // materialized transpose.
-        kernels::MatMulNT(g, bi->data.data(), ai->grad.data(), n, m, k);
-      }
-      if (NeedsGrad(bi)) {
-        bi->EnsureGrad();
-        // dB = Aᵀ · G, likewise transpose-free.
-        kernels::MatMulTN(ai->data.data(), g, bi->grad.data(), n, k, m);
-      }
-    };
-  }
-  return FinishOp(std::move(out));
+  auto out = RecordOp("MatMul", OpKind::kMatMul, a.rows(), b.cols(),
+                      {a.impl(), b.impl()});
+  return FinishRecord(std::move(out));
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   HYGNN_CHECK(a.defined() && b.defined());
   HYGNN_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
-  auto ai = a.impl(), bi = b.impl();
-  auto out = MakeOutput("Add", a.rows(), a.cols(), {ai, bi});
-  const int64_t total = out->size();
-  kernels::Add(ai->data.data(), bi->data.data(), out->data.data(), total);
-  if (out->requires_grad) {
-    TensorImpl* oi = out.get();
-    out->backward_fn = [ai, bi, oi, total]() {
-      if (oi->grad.empty()) return;
-      if (NeedsGrad(ai)) {
-        ai->EnsureGrad();
-        kernels::Axpy(1.0f, oi->grad.data(), ai->grad.data(), total);
-      }
-      if (NeedsGrad(bi)) {
-        bi->EnsureGrad();
-        kernels::Axpy(1.0f, oi->grad.data(), bi->grad.data(), total);
-      }
-    };
-  }
-  return FinishOp(std::move(out));
+  auto out =
+      RecordOp("Add", OpKind::kAdd, a.rows(), a.cols(), {a.impl(), b.impl()});
+  return FinishRecord(std::move(out));
 }
 
 Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias) {
   HYGNN_CHECK(x.defined() && bias.defined());
   HYGNN_CHECK_EQ(bias.rows(), 1);
   HYGNN_CHECK_EQ(bias.cols(), x.cols());
-  auto xi = x.impl(), bi = bias.impl();
-  const int64_t n = x.rows(), d = x.cols();
-  auto out = MakeOutput("AddRowBroadcast", n, d, {xi, bi});
-  kernels::AddRowBroadcast(xi->data.data(), bi->data.data(), out->data.data(),
-                           n, d);
-  if (out->requires_grad) {
-    TensorImpl* oi = out.get();
-    out->backward_fn = [xi, bi, oi, n, d]() {
-      if (oi->grad.empty()) return;
-      if (NeedsGrad(xi)) {
-        xi->EnsureGrad();
-        kernels::Axpy(1.0f, oi->grad.data(), xi->grad.data(), n * d);
-      }
-      if (NeedsGrad(bi)) {
-        bi->EnsureGrad();
-        kernels::ColumnSumAccumulate(oi->grad.data(), n, d, bi->grad.data());
-      }
-    };
-  }
-  return FinishOp(std::move(out));
+  auto out = RecordOp("AddRowBroadcast", OpKind::kAddRowBroadcast, x.rows(),
+                      x.cols(), {x.impl(), bias.impl()});
+  return FinishRecord(std::move(out));
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   HYGNN_CHECK(a.defined() && b.defined());
   HYGNN_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
-  auto ai = a.impl(), bi = b.impl();
-  auto out = MakeOutput("Sub", a.rows(), a.cols(), {ai, bi});
-  const int64_t total = out->size();
-  kernels::Sub(ai->data.data(), bi->data.data(), out->data.data(), total);
-  if (out->requires_grad) {
-    TensorImpl* oi = out.get();
-    out->backward_fn = [ai, bi, oi, total]() {
-      if (oi->grad.empty()) return;
-      if (NeedsGrad(ai)) {
-        ai->EnsureGrad();
-        kernels::Axpy(1.0f, oi->grad.data(), ai->grad.data(), total);
-      }
-      if (NeedsGrad(bi)) {
-        bi->EnsureGrad();
-        kernels::Axpy(-1.0f, oi->grad.data(), bi->grad.data(), total);
-      }
-    };
-  }
-  return FinishOp(std::move(out));
+  auto out =
+      RecordOp("Sub", OpKind::kSub, a.rows(), a.cols(), {a.impl(), b.impl()});
+  return FinishRecord(std::move(out));
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   HYGNN_CHECK(a.defined() && b.defined());
   HYGNN_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
-  auto ai = a.impl(), bi = b.impl();
-  auto out = MakeOutput("Mul", a.rows(), a.cols(), {ai, bi});
-  const int64_t total = out->size();
-  kernels::MulAccumulate(ai->data.data(), bi->data.data(), out->data.data(),
-                         total);
-  if (out->requires_grad) {
-    TensorImpl* oi = out.get();
-    out->backward_fn = [ai, bi, oi, total]() {
-      if (oi->grad.empty()) return;
-      if (NeedsGrad(ai)) {
-        ai->EnsureGrad();
-        kernels::MulAccumulate(oi->grad.data(), bi->data.data(),
-                               ai->grad.data(), total);
-      }
-      if (NeedsGrad(bi)) {
-        bi->EnsureGrad();
-        kernels::MulAccumulate(oi->grad.data(), ai->data.data(),
-                               bi->grad.data(), total);
-      }
-    };
-  }
-  return FinishOp(std::move(out));
+  auto out =
+      RecordOp("Mul", OpKind::kMul, a.rows(), a.cols(), {a.impl(), b.impl()});
+  return FinishRecord(std::move(out));
 }
 
 Tensor Scale(const Tensor& x, float s) {
   HYGNN_CHECK(x.defined());
   HYGNN_DCHECK(std::isfinite(s)) << "Scale by non-finite constant " << s;
-  auto xi = x.impl();
-  auto out = MakeOutput("Scale", x.rows(), x.cols(), {xi});
-  const int64_t total = out->size();
-  kernels::Axpy(s, xi->data.data(), out->data.data(), total);
-  if (out->requires_grad) {
-    TensorImpl* oi = out.get();
-    out->backward_fn = [xi, oi, s, total]() {
-      if (oi->grad.empty()) return;
-      xi->EnsureGrad();
-      kernels::Axpy(s, oi->grad.data(), xi->grad.data(), total);
-    };
-  }
-  return FinishOp(std::move(out));
+  auto out = RecordOp("Scale", OpKind::kScale, x.rows(), x.cols(), {x.impl()});
+  out->rec->alpha = s;
+  return FinishRecord(std::move(out));
 }
 
 Tensor MulColumnBroadcast(const Tensor& x, const Tensor& w) {
   HYGNN_CHECK(x.defined() && w.defined());
   HYGNN_CHECK_EQ(w.cols(), 1);
   HYGNN_CHECK_EQ(w.rows(), x.rows());
-  auto xi = x.impl(), wi = w.impl();
-  const int64_t n = x.rows(), d = x.cols();
-  auto out = MakeOutput("MulColumnBroadcast", n, d, {xi, wi});
-  kernels::RowScaleAccumulate(wi->data.data(), xi->data.data(),
-                              out->data.data(), n, d);
-  if (out->requires_grad) {
-    TensorImpl* oi = out.get();
-    out->backward_fn = [xi, wi, oi, n, d]() {
-      if (oi->grad.empty()) return;
-      if (NeedsGrad(xi)) {
-        xi->EnsureGrad();
-        kernels::RowScaleAccumulate(wi->data.data(), oi->grad.data(),
-                                    xi->grad.data(), n, d);
-      }
-      if (NeedsGrad(wi)) {
-        wi->EnsureGrad();
-        kernels::RowwiseDotAccumulate(oi->grad.data(), xi->data.data(),
-                                      wi->grad.data(), n, d);
-      }
-    };
-  }
-  return FinishOp(std::move(out));
+  auto out = RecordOp("MulColumnBroadcast", OpKind::kMulColumnBroadcast,
+                      x.rows(), x.cols(), {x.impl(), w.impl()});
+  return FinishRecord(std::move(out));
 }
 
 Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   HYGNN_CHECK(a.defined() && b.defined());
   HYGNN_CHECK_EQ(a.rows(), b.rows());
-  auto ai = a.impl(), bi = b.impl();
-  const int64_t n = a.rows(), d1 = a.cols(), d2 = b.cols();
-  auto out = MakeOutput("ConcatCols", n, d1 + d2, {ai, bi});
-  kernels::CopyColumnBlock(ai->data.data(), n, d1, 0, out->data.data(),
-                           d1 + d2, 0, d1);
-  kernels::CopyColumnBlock(bi->data.data(), n, d2, 0, out->data.data(),
-                           d1 + d2, d1, d2);
-  if (out->requires_grad) {
-    TensorImpl* oi = out.get();
-    out->backward_fn = [ai, bi, oi, n, d1, d2]() {
-      if (oi->grad.empty()) return;
-      if (NeedsGrad(ai)) {
-        ai->EnsureGrad();
-        kernels::AccumulateColumnBlock(oi->grad.data(), n, d1 + d2, 0,
-                                       ai->grad.data(), d1, 0, d1);
-      }
-      if (NeedsGrad(bi)) {
-        bi->EnsureGrad();
-        kernels::AccumulateColumnBlock(oi->grad.data(), n, d1 + d2, d1,
-                                       bi->grad.data(), d2, 0, d2);
-      }
-    };
-  }
-  return FinishOp(std::move(out));
+  auto out = RecordOp("ConcatCols", OpKind::kConcatCols, a.rows(),
+                      a.cols() + b.cols(), {a.impl(), b.impl()});
+  return FinishRecord(std::move(out));
 }
 
 Tensor IndexSelectRows(const Tensor& x, const std::vector<int32_t>& indices) {
   HYGNN_CHECK(x.defined());
-  auto xi = x.impl();
   const int64_t n = static_cast<int64_t>(indices.size());
-  const int64_t d = x.cols();
   HYGNN_CHECK_GT(n, 0);
-  HYGNN_CHECK(kernels::AllInRange(indices.data(), n, 0,
-                                  static_cast<int32_t>(x.rows())))
+  HYGNN_CHECK(
+      IndicesInRange(indices.data(), n, 0, static_cast<int32_t>(x.rows())))
       << "IndexSelectRows index out of range [0, " << x.rows() << ")";
-  auto out = MakeOutput("IndexSelectRows", n, d, {xi});
-  kernels::GatherRows(xi->data.data(), d, indices.data(), n,
-                      out->data.data());
-  if (out->requires_grad) {
-    TensorImpl* oi = out.get();
-    auto idx_copy = indices;
-    out->backward_fn = [xi, oi, idx_copy, n, d]() {
-      if (oi->grad.empty()) return;
-      xi->EnsureGrad();
-      kernels::ScatterAddRows(oi->grad.data(), idx_copy.data(), n, d,
-                              xi->grad.data());
-    };
-  }
-  return FinishOp(std::move(out));
+  auto out = RecordOp("IndexSelectRows", OpKind::kIndexSelectRows, n, x.cols(),
+                      {x.impl()});
+  out->rec->ibuf = indices;
+  return FinishRecord(std::move(out));
 }
 
 Tensor SegmentSoftmax(const Tensor& scores,
@@ -294,94 +104,43 @@ Tensor SegmentSoftmax(const Tensor& scores,
   HYGNN_CHECK_EQ(scores.cols(), 1);
   HYGNN_CHECK_EQ(scores.rows(), static_cast<int64_t>(segment_ids.size()));
   const int64_t n = scores.rows();
-  HYGNN_CHECK(kernels::AllInRange(segment_ids.data(), n, 0,
-                                  static_cast<int32_t>(num_segments)))
+  HYGNN_CHECK(IndicesInRange(segment_ids.data(), n, 0,
+                             static_cast<int32_t>(num_segments)))
       << "SegmentSoftmax segment id out of range [0, " << num_segments << ")";
-  auto si = scores.impl();
-  auto out = MakeOutput("SegmentSoftmax", n, 1, {si});
-  kernels::SegmentSoftmax(si->data.data(), segment_ids.data(), n,
-                          num_segments, out->data.data());
-  if (out->requires_grad) {
-    TensorImpl* oi = out.get();
-    auto seg_copy = segment_ids;
-    out->backward_fn = [si, oi, seg_copy, n, num_segments]() {
-      if (oi->grad.empty()) return;
-      si->EnsureGrad();
-      kernels::SegmentSoftmaxBackward(oi->grad.data(), oi->data.data(),
-                                      seg_copy.data(), n, num_segments,
-                                      si->grad.data());
-    };
-  }
-  return FinishOp(std::move(out));
+  auto out =
+      RecordOp("SegmentSoftmax", OpKind::kSegmentSoftmax, n, 1, {scores.impl()});
+  out->rec->ibuf = segment_ids;
+  out->rec->num_segments = num_segments;
+  return FinishRecord(std::move(out));
 }
 
 Tensor SegmentSum(const Tensor& x, const std::vector<int32_t>& segment_ids,
                   int64_t num_segments) {
   HYGNN_CHECK(x.defined());
   HYGNN_CHECK_EQ(x.rows(), static_cast<int64_t>(segment_ids.size()));
-  const int64_t n = x.rows(), d = x.cols();
-  HYGNN_CHECK(kernels::AllInRange(segment_ids.data(), n, 0,
-                                  static_cast<int32_t>(num_segments)))
+  const int64_t n = x.rows();
+  HYGNN_CHECK(IndicesInRange(segment_ids.data(), n, 0,
+                             static_cast<int32_t>(num_segments)))
       << "SegmentSum segment id out of range [0, " << num_segments << ")";
-  auto xi = x.impl();
-  auto out = MakeOutput("SegmentSum", num_segments, d, {xi});
-  kernels::SegmentSumAccumulate(xi->data.data(), segment_ids.data(), n, d,
-                                out->data.data(), num_segments);
-  if (out->requires_grad) {
-    TensorImpl* oi = out.get();
-    auto seg_copy = segment_ids;
-    out->backward_fn = [xi, oi, seg_copy, n, d]() {
-      if (oi->grad.empty()) return;
-      xi->EnsureGrad();
-      kernels::SegmentSumBackward(oi->grad.data(), seg_copy.data(), n, d,
-                                  xi->grad.data());
-    };
-  }
-  return FinishOp(std::move(out));
+  auto out = RecordOp("SegmentSum", OpKind::kSegmentSum, num_segments, x.cols(),
+                      {x.impl()});
+  out->rec->ibuf = segment_ids;
+  out->rec->num_segments = num_segments;
+  return FinishRecord(std::move(out));
 }
 
 Tensor RowwiseDot(const Tensor& a, const Tensor& b) {
   HYGNN_CHECK(a.defined() && b.defined());
   HYGNN_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
-  const int64_t n = a.rows(), d = a.cols();
-  auto ai = a.impl(), bi = b.impl();
-  auto out = MakeOutput("RowwiseDot", n, 1, {ai, bi});
-  kernels::RowwiseDotAccumulate(ai->data.data(), bi->data.data(),
-                                out->data.data(), n, d);
-  if (out->requires_grad) {
-    TensorImpl* oi = out.get();
-    out->backward_fn = [ai, bi, oi, n, d]() {
-      if (oi->grad.empty()) return;
-      if (NeedsGrad(ai)) {
-        ai->EnsureGrad();
-        kernels::RowScaleAccumulate(oi->grad.data(), bi->data.data(),
-                                    ai->grad.data(), n, d);
-      }
-      if (NeedsGrad(bi)) {
-        bi->EnsureGrad();
-        kernels::RowScaleAccumulate(oi->grad.data(), ai->data.data(),
-                                    bi->grad.data(), n, d);
-      }
-    };
-  }
-  return FinishOp(std::move(out));
+  auto out = RecordOp("RowwiseDot", OpKind::kRowwiseDot, a.rows(), 1,
+                      {a.impl(), b.impl()});
+  return FinishRecord(std::move(out));
 }
 
 Tensor ReduceSum(const Tensor& x) {
   HYGNN_CHECK(x.defined());
-  auto xi = x.impl();
-  auto out = MakeOutput("ReduceSum", 1, 1, {xi});
-  const int64_t total = xi->size();
-  out->data[0] = kernels::Sum(xi->data.data(), total);
-  if (out->requires_grad) {
-    TensorImpl* oi = out.get();
-    out->backward_fn = [xi, oi, total]() {
-      if (oi->grad.empty()) return;
-      xi->EnsureGrad();
-      kernels::AccumulateConstant(oi->grad[0], xi->grad.data(), total);
-    };
-  }
-  return FinishOp(std::move(out));
+  auto out = RecordOp("ReduceSum", OpKind::kReduceSum, 1, 1, {x.impl()});
+  return FinishRecord(std::move(out));
 }
 
 Tensor ReduceMean(const Tensor& x) {
@@ -389,75 +148,46 @@ Tensor ReduceMean(const Tensor& x) {
   return Scale(ReduceSum(x), inv);
 }
 
-namespace {
-
-/// Shared wiring for elementwise unary ops. `fwd` maps x->y, `dydx`
-/// maps (x, y)->dy/dx; both run inside the parallel RowwiseMap
-/// kernels.
-template <typename Fwd, typename Dydx>
-Tensor UnaryOp(const char* op, const Tensor& x, Fwd fwd, Dydx dydx) {
-  HYGNN_CHECK(x.defined());
-  auto xi = x.impl();
-  auto out = MakeOutput(op, x.rows(), x.cols(), {xi});
-  const int64_t total = out->size();
-  kernels::RowwiseMap(xi->data.data(), out->data.data(), total, fwd);
-  if (out->requires_grad) {
-    TensorImpl* oi = out.get();
-    out->backward_fn = [xi, oi, dydx, total]() {
-      if (oi->grad.empty()) return;
-      xi->EnsureGrad();
-      kernels::RowwiseMapGradAccumulate(xi->data.data(), oi->data.data(),
-                                        oi->grad.data(), xi->grad.data(),
-                                        total, dydx);
-    };
-  }
-  return FinishOp(std::move(out));
-}
-
-}  // namespace
-
 Tensor Relu(const Tensor& x) {
-  return UnaryOp(
-      "Relu", x, [](float v) { return v > 0.0f ? v : 0.0f; },
-      [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; });
+  HYGNN_CHECK(x.defined());
+  auto out = RecordOp("Relu", OpKind::kRelu, x.rows(), x.cols(), {x.impl()});
+  return FinishRecord(std::move(out));
 }
 
 Tensor LeakyRelu(const Tensor& x, float slope) {
+  HYGNN_CHECK(x.defined());
   HYGNN_DCHECK(std::isfinite(slope));
-  return UnaryOp(
-      "LeakyRelu", x, [slope](float v) { return v >= 0.0f ? v : slope * v; },
-      [slope](float v, float) { return v >= 0.0f ? 1.0f : slope; });
+  auto out =
+      RecordOp("LeakyRelu", OpKind::kLeakyRelu, x.rows(), x.cols(), {x.impl()});
+  out->rec->alpha = slope;
+  return FinishRecord(std::move(out));
 }
 
 Tensor Sigmoid(const Tensor& x) {
-  return UnaryOp(
-      "Sigmoid", x,
-      [](float v) {
-        if (v >= 0.0f) {
-          const float z = std::exp(-v);
-          return 1.0f / (1.0f + z);
-        }
-        const float z = std::exp(v);
-        return z / (1.0f + z);
-      },
-      [](float, float y) { return y * (1.0f - y); });
+  HYGNN_CHECK(x.defined());
+  auto out =
+      RecordOp("Sigmoid", OpKind::kSigmoid, x.rows(), x.cols(), {x.impl()});
+  return FinishRecord(std::move(out));
 }
 
 Tensor Tanh(const Tensor& x) {
-  return UnaryOp("Tanh", x, [](float v) { return std::tanh(v); },
-                 [](float, float y) { return 1.0f - y * y; });
+  HYGNN_CHECK(x.defined());
+  auto out = RecordOp("Tanh", OpKind::kTanh, x.rows(), x.cols(), {x.impl()});
+  return FinishRecord(std::move(out));
 }
 
 Tensor Exp(const Tensor& x) {
-  return UnaryOp("Exp", x, [](float v) { return std::exp(v); },
-                 [](float, float y) { return y; });
+  HYGNN_CHECK(x.defined());
+  auto out = RecordOp("Exp", OpKind::kExp, x.rows(), x.cols(), {x.impl()});
+  return FinishRecord(std::move(out));
 }
 
 Tensor Log(const Tensor& x, float eps) {
+  HYGNN_CHECK(x.defined());
   HYGNN_DCHECK_GE(eps, 0.0f);
-  return UnaryOp(
-      "Log", x, [eps](float v) { return std::log(std::max(v, eps)); },
-      [eps](float v, float) { return 1.0f / std::max(v, eps); });
+  auto out = RecordOp("Log", OpKind::kLog, x.rows(), x.cols(), {x.impl()});
+  out->rec->alpha = eps;
+  return FinishRecord(std::move(out));
 }
 
 Tensor Dropout(const Tensor& x, float p, bool training, core::Rng* rng) {
@@ -465,72 +195,40 @@ Tensor Dropout(const Tensor& x, float p, bool training, core::Rng* rng) {
   HYGNN_CHECK(p >= 0.0f && p < 1.0f);
   if (!training || p == 0.0f) return x;
   HYGNN_CHECK(rng != nullptr);
-  auto xi = x.impl();
-  auto out = MakeOutput("Dropout", x.rows(), x.cols(), {xi});
+  auto out =
+      RecordOp("Dropout", OpKind::kDropout, x.rows(), x.cols(), {x.impl()});
   const int64_t total = out->size();
   const float keep_scale = 1.0f / (1.0f - p);
-  auto mask = std::make_shared<std::vector<float>>(total, 0.0f);
-  kernels::DropoutMask(rng, p, keep_scale, mask->data(), total);
-  kernels::MulAccumulate(xi->data.data(), mask->data(), out->data.data(),
-                         total);
-  if (out->requires_grad) {
-    TensorImpl* oi = out.get();
-    out->backward_fn = [xi, oi, mask, total]() {
-      if (oi->grad.empty()) return;
-      xi->EnsureGrad();
-      kernels::MulAccumulate(oi->grad.data(), mask->data(), xi->grad.data(),
-                             total);
-    };
-  }
-  return FinishOp(std::move(out));
+  // The mask is drawn NOW, at record time, so the RNG stream advances
+  // in program order — identical draws whether or not execution is
+  // deferred or fused, at any thread count.
+  out->rec->fbuf = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(total), 0.0f);
+  DrawDropoutMask(rng, p, keep_scale, out->rec->fbuf->data(), total);
+  return FinishRecord(std::move(out));
 }
 
 Tensor L2NormalizeRows(const Tensor& x, float eps) {
   HYGNN_CHECK(x.defined());
   HYGNN_DCHECK_GT(eps, 0.0f);
-  auto xi = x.impl();
-  const int64_t n = x.rows(), d = x.cols();
-  auto out = MakeOutput("L2NormalizeRows", n, d, {xi});
-  auto norms = std::make_shared<std::vector<float>>(n, 0.0f);
-  kernels::L2NormalizeRows(xi->data.data(), n, d, eps, out->data.data(),
-                           norms->data());
-  if (out->requires_grad) {
-    TensorImpl* oi = out.get();
-    out->backward_fn = [xi, oi, norms, n, d]() {
-      if (oi->grad.empty()) return;
-      xi->EnsureGrad();
-      kernels::L2NormalizeRowsBackward(oi->grad.data(), oi->data.data(),
-                                       norms->data(), n, d, xi->grad.data());
-    };
-  }
-  return FinishOp(std::move(out));
+  auto out = RecordOp("L2NormalizeRows", OpKind::kL2NormalizeRows, x.rows(),
+                      x.cols(), {x.impl()});
+  out->rec->alpha = eps;
+  return FinishRecord(std::move(out));
 }
 
 Tensor RowSoftmax(const Tensor& x) {
   HYGNN_CHECK(x.defined());
-  const int64_t n = x.rows(), k = x.cols();
-  auto xi = x.impl();
-  auto out = MakeOutput("RowSoftmax", n, k, {xi});
-  kernels::RowSoftmax(xi->data.data(), n, k, out->data.data());
-  if (out->requires_grad) {
-    TensorImpl* oi = out.get();
-    out->backward_fn = [xi, oi, n, k]() {
-      if (oi->grad.empty()) return;
-      xi->EnsureGrad();
-      kernels::RowSoftmaxBackward(oi->grad.data(), oi->data.data(), n, k,
-                                  xi->grad.data());
-    };
-  }
-  return FinishOp(std::move(out));
+  auto out = RecordOp("RowSoftmax", OpKind::kRowSoftmax, x.rows(), x.cols(),
+                      {x.impl()});
+  return FinishRecord(std::move(out));
 }
 
 Tensor TransposeNoGrad(const Tensor& x) {
   HYGNN_CHECK(x.defined());
-  const int64_t n = x.rows(), d = x.cols();
-  Tensor out = Tensor::Zeros(d, n);
-  out.impl()->op = "TransposeNoGrad";
-  kernels::Transpose(x.data(), n, d, out.data());
-  return out;
+  auto out = RecordOp("TransposeNoGrad", OpKind::kTranspose, x.cols(),
+                      x.rows(), {x.impl()}, /*detached=*/true);
+  return FinishRecord(std::move(out));
 }
 
 }  // namespace hygnn::tensor

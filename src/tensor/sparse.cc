@@ -73,6 +73,9 @@ Tensor SpMM(const std::shared_ptr<const CsrMatrix>& a, const Tensor& x) {
   HYGNN_CHECK_EQ(a->cols(), x.rows());
   const int64_t n = a->rows(), d = x.cols();
   auto xi = x.impl();
+  // SpMM is an opaque eager op reading xi->data inline; run any
+  // pending recorded graph below it first.
+  MaterializeTensor(xi);
   auto out = std::make_shared<TensorImpl>();
   out->rows = n;
   out->cols = d;

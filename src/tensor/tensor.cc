@@ -5,6 +5,7 @@
 
 #include "core/logging.h"
 #include "obs/optime.h"
+#include "tensor/tape.h"
 
 namespace hygnn::tensor {
 
@@ -64,22 +65,28 @@ Tensor Tensor::Scalar(float value, bool requires_grad) {
 
 float Tensor::At(int64_t r, int64_t c) const {
   HYGNN_CHECK(r >= 0 && r < rows() && c >= 0 && c < cols());
+  EnsureValue();
   return impl_->data[static_cast<size_t>(r * cols() + c)];
 }
 
 void Tensor::Set(int64_t r, int64_t c, float value) {
   HYGNN_CHECK(r >= 0 && r < rows() && c >= 0 && c < cols());
+  EnsureValue();
   impl_->data[static_cast<size_t>(r * cols() + c)] = value;
 }
 
 float Tensor::item() const {
   HYGNN_CHECK_EQ(size(), 1);
+  EnsureValue();
   return impl_->data[0];
 }
 
 void Tensor::Backward() {
   HYGNN_CHECK(defined());
   HYGNN_CHECK_EQ(size(), 1);
+  // Forward values must exist before gradients flow; a pending root
+  // materializes (linearize -> fuse -> execute) right here.
+  MaterializeTensor(impl_);
   // Topological order by iterative post-order DFS over parents.
   std::vector<TensorImpl*> order;
   std::unordered_set<TensorImpl*> visited;
@@ -104,18 +111,7 @@ void Tensor::Backward() {
   // reverse it so the root runs first.
   const bool time_ops = obs::KernelTimingEnabled();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    if ((*it)->backward_fn) {
-      ++(*it)->backward_runs;
-      if (time_ops) {
-        // Attribute each node's gradient kernel to its producing op —
-        // the backward half of the obs per-op attribution table.
-        const uint64_t start = obs::NowNanos();
-        (*it)->backward_fn();
-        obs::RecordBackward((*it)->op, obs::NowNanos() - start);
-      } else {
-        (*it)->backward_fn();
-      }
-    }
+    ExecuteNodeBackward(*it, time_ops);
   }
 }
 
@@ -126,6 +122,7 @@ void Tensor::ZeroGrad() {
 }
 
 Tensor Tensor::Detach() const {
+  EnsureValue();
   auto impl = std::make_shared<TensorImpl>();
   impl->rows = rows();
   impl->cols = cols();

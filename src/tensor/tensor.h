@@ -11,6 +11,9 @@
 
 namespace hygnn::tensor {
 
+/// Tape record for a recorded-but-not-yet-executed op (tensor/tape.h).
+struct OpRecord;
+
 /// Internal storage and autograd node for a Tensor. Holds the value, the
 /// accumulated gradient, and the closure that propagates gradients to the
 /// node's parents in the dynamic computation graph.
@@ -21,7 +24,9 @@ struct TensorImpl {
   int64_t cols = 0;
   bool requires_grad = false;
 
-  /// Propagates this node's gradient into its parents' gradients.
+  /// Propagates this node's gradient into its parents' gradients. Used
+  /// by opaque eager ops (loss.cc, sparse.cc, hand-built nodes); ops
+  /// recorded through tensor/ops.cc carry an OpRecord instead.
   std::function<void()> backward_fn;
   std::vector<std::shared_ptr<TensorImpl>> parents;
 
@@ -35,6 +40,20 @@ struct TensorImpl {
   /// (flagged by GraphLint).
   int32_t backward_runs = 0;
 
+  /// False while the node is a recorded tape op whose value has not been
+  /// computed yet; the executor (tensor/tape.cc) flips it after writing
+  /// `data`. Leaves and hand-built nodes are born materialized.
+  bool materialized = true;
+
+  /// Present on every node produced by the recording layer
+  /// (tensor/ops.cc): the op kind plus op-specific payload the executor
+  /// dispatches on. Cleared after execution for nodes that will never
+  /// run backward, so inference graphs carry no tape state.
+  std::unique_ptr<OpRecord> rec;
+
+  TensorImpl();   // defined in tape.cc (OpRecord is incomplete here)
+  ~TensorImpl();  // likewise
+
   int64_t size() const { return rows * cols; }
 
   /// Allocates (zero-filled) gradient storage if absent.
@@ -42,6 +61,13 @@ struct TensorImpl {
     if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
   }
 };
+
+/// Executes the pending tape subgraph below `root`: linearizes it into
+/// topological order, runs the elementwise fusion pass (tensor/fuse.h)
+/// when enabled, and dispatches every op to the kernel layer. No-op
+/// when `root` is already materialized. Declared here so Tensor's
+/// accessors can trigger it; implementation in tensor/tape.cc.
+void MaterializeTensor(const std::shared_ptr<TensorImpl>& root);
 
 /// RAII guard that switches the whole tensor engine into inference
 /// mode while alive: every operator executed inside the scope produces
@@ -117,8 +143,14 @@ class Tensor {
     return impl_->requires_grad;
   }
 
-  float* data() { return impl_->data.data(); }
-  const float* data() const { return impl_->data.data(); }
+  float* data() {
+    EnsureValue();
+    return impl_->data.data();
+  }
+  const float* data() const {
+    EnsureValue();
+    return impl_->data.data();
+  }
 
   /// Gradient storage; valid after Backward() reached this node.
   float* grad() { return impl_->grad.data(); }
@@ -151,6 +183,13 @@ class Tensor {
   std::shared_ptr<TensorImpl> impl() const { return impl_; }
 
  private:
+  /// Runs the recorded tape below this tensor if its value is pending.
+  /// Reading through `impl()` directly bypasses this — callers doing so
+  /// must call MaterializeTensor themselves (see loss.cc, sparse.cc).
+  void EnsureValue() const {
+    if (impl_ != nullptr && !impl_->materialized) MaterializeTensor(impl_);
+  }
+
   std::shared_ptr<TensorImpl> impl_;
 };
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Self-test for the repo linters (scripts/lint.py, scripts/tidy.py).
 
-Each convention rule 1-12 is exercised both ways: a deliberately
+Each convention rule 1-13 is exercised both ways: a deliberately
 violating fixture must fire it, and a conforming fixture must stay
 quiet. This is what keeps the gate honest — a regex edit that silently
 stops matching breaks THIS test instead of silently un-gating the repo.
@@ -135,6 +135,32 @@ class NoRawLoopsTest(unittest.TestCase):  # rule 6
                  "kernels::Add(a, b, out);\n")
         self.assertEqual([], problems_of(
             lint.check_no_raw_loops, "src/tensor/ops.cc", clean))
+
+
+class NoKernelCallsTest(unittest.TestCase):  # rule 13
+    def test_fires_on_kernel_call(self):
+        self.assertTrue(problems_of(
+            lint.check_no_kernel_calls, "src/tensor/ops.cc",
+            "kernels::Add(a, b, out, total);\n"))
+
+    def test_fires_on_kernel_include(self):
+        self.assertTrue(problems_of(
+            lint.check_no_kernel_calls, "src/tensor/ops.cc",
+            "#include \"tensor/kernels/kernels.h\"\n"))
+
+    def test_quiet_on_recording_and_comments(self):
+        clean = ("// the executor calls kernels::Add for this node\n"
+                 "/* was: kernels::MulAccumulate(...) */\n"
+                 "auto out = RecordOp(\"Add\", OpKind::kAdd, rows, cols,\n"
+                 "                    {a.impl(), b.impl()});\n"
+                 "return FinishRecord(std::move(out));\n")
+        self.assertEqual([], problems_of(
+            lint.check_no_kernel_calls, "src/tensor/ops.cc", clean))
+
+    def test_repo_ops_cc_is_clean(self):
+        text = (lint.REPO / "src/tensor/ops.cc").read_text(encoding="utf-8")
+        self.assertEqual([], problems_of(
+            lint.check_no_kernel_calls, "src/tensor/ops.cc", text))
 
 
 class RawFileStreamTest(unittest.TestCase):  # rule 7

@@ -121,9 +121,12 @@ TEST(InferenceModeTest, ServingForwardAllocatesNoGraphNodes) {
   const std::vector<data::LabeledPair> pairs = {{0, 1, 1.0f}, {2, 3, 0.0f}};
   tensor::InferenceModeScope inference;
   const tensor::Tensor logits = model.Forward(context, pairs, false, nullptr);
+  // Reading the value materializes the lazy tape; afterwards the
+  // executor has stripped parents/records from every no-grad node.
+  (void)logits.At(0, 0);
   const auto report = tensor::GraphLint(logits);
   EXPECT_TRUE(report.issues.empty());
-  // The logits tensor is the whole "graph": no parents were recorded.
+  // The logits tensor is the whole "graph": no graph edges survive.
   EXPECT_EQ(report.nodes_visited, 1);
   EXPECT_FALSE(logits.requires_grad());
 }
@@ -140,6 +143,8 @@ TEST(InferenceModeTest, ScopeNestsAndRestores) {
     EXPECT_TRUE(tensor::InferenceModeEnabled());
     const tensor::Tensor detached = tensor::Relu(a);
     EXPECT_FALSE(detached.requires_grad());
+    // Materialize: execution drops the no-grad node's graph edges.
+    (void)detached.At(0, 0);
     EXPECT_EQ(tensor::GraphLint(detached).nodes_visited, 1);
   }
   EXPECT_FALSE(tensor::InferenceModeEnabled());
