@@ -1,0 +1,273 @@
+// SLO load test for the serve::Server request pipeline: measures the
+// pipeline's closed-loop capacity, then offers open-loop load at
+// several fractions/multiples of it and reports sustained QPS,
+// end-to-end latency percentiles (p50/p95/p99), and how many requests
+// admission control shed at each level, into BENCH_load.json
+// (override with --json_out=PATH).
+//
+// Before any load runs, every pooled request is scored once through
+// the server and once serially through PairScorer::ScorePairs; the two
+// must be bit-identical (memcmp) or the bench exits 1 — dynamic
+// batching is only allowed to change *when* a pair is scored, never
+// its value.
+//
+// Note: this container exposes a single CPU, so submitters, the
+// batcher, and scorer workers time-slice one core; absolute QPS is
+// modest and the interesting output is the *shape* — saturation at
+// 1x capacity, shedding instead of collapse at overload.
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/logging.h"
+#include "core/rng.h"
+#include "data/featurize.h"
+#include "data/generator.h"
+#include "graph/builders.h"
+#include "hygnn/model.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "serve/embedding_store.h"
+#include "serve/loadgen.h"
+#include "serve/request.h"
+#include "serve/scoring.h"
+#include "serve/server.h"
+
+namespace hygnn {
+namespace {
+
+struct LoadBenchConfig {
+  int32_t num_drugs = 150;
+  int32_t pairs_per_request = 8;
+  int32_t pool_requests = 64;
+  double seconds_per_level = 1.0;
+  int32_t submitters = 2;
+  uint64_t seed = 42;
+  serve::ServerOptions server;
+  std::string metrics_out;
+};
+
+/// Closed-loop capacity probe: one submitter, blocking Score,
+/// back-to-back. The sustained rate with zero queueing is the
+/// pipeline's intrinsic capacity; offered-load levels are set
+/// relative to it so the sweep brackets saturation on any machine.
+double MeasureCapacityQps(serve::Server* server,
+                          const std::vector<serve::ScoreRequest>& pool) {
+  const int32_t warmup = 20;
+  const int32_t measured = 200;
+  for (int32_t i = 0; i < warmup; ++i) {
+    auto r = server->Score(pool[static_cast<size_t>(i) % pool.size()]);
+    HYGNN_CHECK(r.ok()) << r.status().ToString();
+  }
+  obs::Timer timer;
+  for (int32_t i = 0; i < measured; ++i) {
+    auto r = server->Score(pool[static_cast<size_t>(i) % pool.size()]);
+    HYGNN_CHECK(r.ok()) << r.status().ToString();
+  }
+  return static_cast<double>(measured) / timer.ElapsedSeconds();
+}
+
+/// Scores every pooled request through the server and serially;
+/// returns false on any bitwise mismatch.
+bool VerifyBitIdentity(serve::Server* server,
+                       const serve::PairScorer& serial,
+                       const std::vector<serve::ScoreRequest>& pool) {
+  for (size_t i = 0; i < pool.size(); ++i) {
+    auto served = server->Score(pool[i]);
+    auto expected = serial.ScorePairs(pool[i]);
+    HYGNN_CHECK(served.ok()) << served.status().ToString();
+    HYGNN_CHECK(expected.ok()) << expected.status().ToString();
+    const auto& got = served.value().scores;
+    const auto& want = expected.value().scores;
+    if (got.size() != want.size() ||
+        std::memcmp(got.data(), want.data(),
+                    want.size() * sizeof(float)) != 0) {
+      std::fprintf(stderr, "request %zu: served scores != serial\n", i);
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunLoadBench(const LoadBenchConfig& config,
+                 const std::string& json_path) {
+  obs::MetricsRecorder recorder(config.metrics_out);
+  std::optional<obs::ScopedMetricsEnabled> metrics_scope;
+  if (recorder.active()) metrics_scope.emplace(true);
+
+  data::DatasetConfig data_config;
+  data_config.num_drugs = config.num_drugs;
+  data_config.seed = config.seed;
+  auto dataset = data::GenerateDataset(data_config).value();
+  data::FeaturizeConfig feat_config;
+  feat_config.espf_frequency_threshold = 3;
+  auto featurizer =
+      data::SubstructureFeaturizer::Build(dataset.drugs(), feat_config)
+          .value();
+  auto hypergraph =
+      graph::BuildDrugHypergraph(featurizer.drug_substructures(),
+                                 featurizer.num_substructures());
+  auto context = model::HypergraphContext::FromHypergraph(hypergraph);
+
+  core::Rng rng(config.seed);
+  model::HyGnnConfig model_config;
+  auto model = model::HyGnnModel(featurizer.num_substructures(),
+                                 model_config, &rng);
+  serve::EmbeddingStore store(&model);
+  HYGNN_CHECK(store.Rebuild(context).ok());
+
+  // Seeded request pool shared by every level: identical offered work
+  // across levels and across runs.
+  const int32_t catalog = store.num_drugs();
+  core::Rng pair_rng(config.seed + 1);
+  std::vector<serve::ScoreRequest> pool(
+      static_cast<size_t>(config.pool_requests));
+  for (auto& request : pool) {
+    request.pairs.reserve(static_cast<size_t>(config.pairs_per_request));
+    for (int32_t i = 0; i < config.pairs_per_request; ++i) {
+      const auto a = static_cast<int32_t>(
+          pair_rng.UniformInt(static_cast<uint64_t>(catalog)));
+      auto b = static_cast<int32_t>(
+          pair_rng.UniformInt(static_cast<uint64_t>(catalog - 1)));
+      if (b >= a) ++b;
+      request.pairs.push_back({a, b, 0.0f});
+    }
+  }
+
+  serve::Server server(&model, &store, config.server);
+  HYGNN_CHECK(server.Start().ok());
+
+  serve::PairScorer serial(&model, &store);
+  const bool bit_identical = VerifyBitIdentity(&server, serial, pool);
+
+  const double capacity_qps = MeasureCapacityQps(&server, pool);
+  std::printf("load bench: %d drugs, %d-pair requests, workers=%d "
+              "max_batch=%d max_wait_us=%lld queue=%d\n",
+              config.num_drugs, config.pairs_per_request,
+              config.server.workers, config.server.max_batch,
+              static_cast<long long>(config.server.max_wait_us),
+              config.server.queue_capacity);
+  std::printf("  closed-loop capacity: %.0f req/s\n", capacity_qps);
+  std::printf("  bit_identical vs serial: %s\n",
+              bit_identical ? "true" : "false");
+
+  const double fractions[] = {0.5, 1.0, 2.0};
+  std::vector<serve::LoadReport> reports;
+  for (const double fraction : fractions) {
+    serve::LoadConfig load;
+    load.offered_qps = capacity_qps * fraction;
+    load.duration_seconds = config.seconds_per_level;
+    load.submitters = config.submitters;
+    reports.push_back(serve::RunLoad(&server, pool, load));
+    const auto& report = reports.back();
+    std::printf("  offered %7.0f req/s (%.1fx): sustained %7.0f req/s  "
+                "shed %llu/%llu  p50 %.0f us  p95 %.0f us  p99 %.0f us\n",
+                report.offered_qps, fraction, report.sustained_qps,
+                static_cast<unsigned long long>(report.shed),
+                static_cast<unsigned long long>(report.submitted),
+                report.p50_us, report.p95_us, report.p99_us);
+  }
+  server.Shutdown();
+  const auto stats = server.stats();
+  std::printf("  pipeline totals: accepted %llu  completed %llu  "
+              "shed %llu  batches %llu\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.batches));
+
+  std::FILE* file = std::fopen(json_path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(file,
+               "{\n  \"bench\": \"load\",\n"
+               "  \"num_drugs\": %d,\n  \"pairs_per_request\": %d,\n"
+               "  \"workers\": %d,\n  \"max_batch\": %d,\n"
+               "  \"max_wait_us\": %lld,\n  \"queue_capacity\": %d,\n"
+               "  \"submitters\": %d,\n"
+               "  \"capacity_qps\": %.1f,\n"
+               "  \"bit_identical\": %s,\n"
+               "  \"levels\": [\n",
+               config.num_drugs, config.pairs_per_request,
+               config.server.workers, config.server.max_batch,
+               static_cast<long long>(config.server.max_wait_us),
+               config.server.queue_capacity, config.submitters,
+               capacity_qps, bit_identical ? "true" : "false");
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const auto& report = reports[i];
+    std::fprintf(file,
+                 "    {\"offered_qps\": %.1f, \"duration_s\": %.2f, "
+                 "\"submitted\": %llu, \"completed\": %llu, "
+                 "\"shed\": %llu, \"failed\": %llu, "
+                 "\"sustained_qps\": %.1f, \"p50_us\": %.1f, "
+                 "\"p95_us\": %.1f, \"p99_us\": %.1f}%s\n",
+                 report.offered_qps, report.duration_seconds,
+                 static_cast<unsigned long long>(report.submitted),
+                 static_cast<unsigned long long>(report.completed),
+                 static_cast<unsigned long long>(report.shed),
+                 static_cast<unsigned long long>(report.failed),
+                 report.sustained_qps, report.p50_us, report.p95_us,
+                 report.p99_us, i + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (recorder.active()) {
+    if (auto s = recorder.Flush(); !s.ok()) {
+      std::fprintf(stderr, "FAIL: metrics flush: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote metrics to %s\n", recorder.path().c_str());
+  }
+  if (!bit_identical) {
+    std::fprintf(stderr,
+                 "FAIL: served scores are not bit-identical to serial\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hygnn
+
+int main(int argc, char** argv) {
+  hygnn::LoadBenchConfig config;
+  std::string json_path = "BENCH_load.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto int_flag = [&arg](const char* name, int32_t* out) {
+      const std::string prefix = std::string("--") + name + "=";
+      if (arg.rfind(prefix, 0) != 0) return false;
+      *out = std::stoi(arg.substr(prefix.size()));
+      return true;
+    };
+    int32_t max_wait = -1;
+    if (arg.rfind("--json_out=", 0) == 0) {
+      json_path = arg.substr(std::string("--json_out=").size());
+    } else if (arg.rfind("--metrics_out=", 0) == 0) {
+      config.metrics_out = arg.substr(std::string("--metrics_out=").size());
+    } else if (arg.rfind("--seconds=", 0) == 0) {
+      config.seconds_per_level =
+          std::stod(arg.substr(std::string("--seconds=").size()));
+    } else if (int_flag("drugs", &config.num_drugs) ||
+               int_flag("pairs_per_request", &config.pairs_per_request) ||
+               int_flag("submitters", &config.submitters) ||
+               int_flag("workers", &config.server.workers) ||
+               int_flag("max_batch", &config.server.max_batch) ||
+               int_flag("queue_capacity", &config.server.queue_capacity)) {
+    } else if (int_flag("max_wait_us", &max_wait)) {
+      config.server.max_wait_us = max_wait;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  return hygnn::RunLoadBench(config, json_path);
+}

@@ -108,7 +108,9 @@ int RunServeBench(const ServeBenchConfig& config,
   std::vector<std::vector<float>> cached_scores;
   core::Stopwatch cached_watch;
   for (const auto& batch : batches) {
-    cached_scores.push_back(cached.Score(batch));
+    auto response = cached.ScorePairs(serve::ScoreRequest{batch});
+    HYGNN_CHECK(response.ok()) << response.status().ToString();
+    cached_scores.push_back(std::move(response).value().scores);
   }
   const double cached_seconds = cached_watch.ElapsedSeconds();
 
@@ -122,9 +124,11 @@ int RunServeBench(const ServeBenchConfig& config,
 
   // Screening: rank the whole catalog against one query drug.
   core::Stopwatch screen_watch;
-  const auto hits = serve::ScreeningEngine(&model, &store)
-                        .TopK(/*query=*/0, /*k=*/10);
+  auto screen_response = serve::ScreeningEngine(&model, &store)
+                             .Screen({/*query=*/0, /*top_k=*/10});
   const double screen_ms = screen_watch.ElapsedMillis();
+  HYGNN_CHECK(screen_response.ok()) << screen_response.status().ToString();
+  const auto& hits = screen_response.value().hits;
 
   // Cold-start join of the held-out drug (encoder has 1 layer here, so
   // the incremental path applies).

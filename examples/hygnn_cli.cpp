@@ -32,6 +32,12 @@
 //       --model model.bin --query DB00003 --top 10
 //       [--metrics_out f]    # serving-stage latency histograms, cache
 //                            # counters, per-op kernel times as JSONL
+//   hygnn_cli serve-load --drugs_csv drugs.csv --mode espf
+//       --model model.bin --qps 500 --seconds 2
+//       [--workers N --max_batch N --max_wait_us N --queue_capacity N]
+//       [--pairs_per_request N --submitters N --seed N]
+//       [--metrics_out f]    # adds serve.server.* queue-wait/batch-size
+//                            # /score-latency histograms to the JSONL
 //
 // `train` writes a self-describing model bundle (serve::ModelBundle):
 // config, substructure vocabulary, and weights in one file. The later
@@ -56,8 +62,12 @@
 #include "obs/metrics.h"
 #include "obs/optime.h"
 #include "obs/sink.h"
+#include "core/rng.h"
 #include "serve/embedding_store.h"
+#include "serve/loadgen.h"
+#include "serve/request.h"
 #include "serve/scoring.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -316,8 +326,12 @@ int CmdScreen(const core::FlagParser& flags) {
   serve::EmbeddingStore store(&hygnn);
   if (auto s = store.Rebuild(corpus.context); !s.ok()) return Fail(s);
   serve::ScreeningEngine engine(&hygnn, &store);
-  const auto keep = static_cast<int32_t>(flags.GetInt("top", 10));
-  const auto hits = engine.TopK(query, keep);
+  serve::ScreenRequest request;
+  request.query = query;
+  request.top_k = static_cast<int32_t>(flags.GetInt("top", 10));
+  auto response = engine.Screen(request);
+  if (!response.ok()) return Fail(response.status());
+  const auto& hits = response.value().hits;
   std::printf("top %zu interaction candidates for %s:\n", hits.size(),
               corpus.drugs[static_cast<size_t>(query)].drugbank_id.c_str());
   for (const auto& hit : hits) {
@@ -333,13 +347,114 @@ int CmdScreen(const core::FlagParser& flags) {
   return 0;
 }
 
+/// serve-load: stands up an in-process serve::Server over the model
+/// bundle's embedding cache and drives it open-loop at --qps for
+/// --seconds, reporting sustained QPS, end-to-end latency percentiles,
+/// and how many requests admission control shed.
+int CmdServeLoad(const core::FlagParser& flags) {
+  if (auto s = flags.RequireKnown(KnownFlags(
+          {"model", "queue_capacity", "max_batch", "max_wait_us", "workers",
+           "qps", "seconds", "pairs_per_request", "submitters", "seed",
+           "metrics_out"}));
+      !s.ok()) {
+    return Fail(s);
+  }
+  obs::MetricsRecorder recorder(flags.GetString("metrics_out", ""));
+  std::optional<obs::ScopedMetricsEnabled> metrics_scope;
+  if (recorder.active()) metrics_scope.emplace(true);
+  auto corpus_or = LoadCorpus(flags);
+  if (!corpus_or.ok()) return Fail(corpus_or.status());
+  auto& corpus = corpus_or.value();
+  auto hygnn_or =
+      model::HyGnnModel::Load(flags.GetString("model", "model.bin"));
+  if (!hygnn_or.ok()) return Fail(hygnn_or.status());
+  auto& hygnn = hygnn_or.value();
+
+  serve::EmbeddingStore store(&hygnn);
+  if (auto s = store.Rebuild(corpus.context); !s.ok()) return Fail(s);
+
+  serve::ServerOptions options;
+  options.queue_capacity =
+      static_cast<int32_t>(flags.GetInt("queue_capacity", 256));
+  options.max_batch = static_cast<int32_t>(flags.GetInt("max_batch", 64));
+  options.max_wait_us = flags.GetInt("max_wait_us", 1000);
+  options.workers = static_cast<int32_t>(flags.GetInt("workers", 2));
+  serve::Server server(&hygnn, &store, options);
+  if (auto s = server.Start(); !s.ok()) return Fail(s);
+
+  // A fixed pool of random in-catalog requests the submitters cycle
+  // through; seeded, so two runs offer identical work.
+  const int32_t catalog = store.num_drugs();
+  if (catalog < 2) {
+    return Fail(core::Status::FailedPrecondition(
+        "serving catalog needs at least 2 drugs"));
+  }
+  const auto pairs_per_request =
+      static_cast<int32_t>(flags.GetInt("pairs_per_request", 8));
+  core::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  std::vector<serve::ScoreRequest> pool(64);
+  for (auto& request : pool) {
+    request.pairs.reserve(static_cast<size_t>(pairs_per_request));
+    for (int32_t i = 0; i < pairs_per_request; ++i) {
+      const auto a = static_cast<int32_t>(
+          rng.UniformInt(static_cast<uint64_t>(catalog)));
+      auto b = static_cast<int32_t>(
+          rng.UniformInt(static_cast<uint64_t>(catalog - 1)));
+      if (b >= a) ++b;
+      request.pairs.push_back({a, b, 0.0f});
+    }
+  }
+
+  serve::LoadConfig load;
+  load.offered_qps = flags.GetDouble("qps", 500.0);
+  load.duration_seconds = flags.GetDouble("seconds", 2.0);
+  load.submitters = static_cast<int32_t>(flags.GetInt("submitters", 2));
+  if (load.offered_qps <= 0.0 || load.duration_seconds <= 0.0 ||
+      load.submitters < 1) {
+    return Fail(core::Status::InvalidArgument(
+        "--qps and --seconds must be positive, --submitters >= 1"));
+  }
+  const auto report = serve::RunLoad(&server, pool, load);
+  server.Shutdown();
+  const auto stats = server.stats();
+
+  std::printf("serve-load: offered %.0f req/s for %.1fs "
+              "(workers=%d max_batch=%d max_wait_us=%lld queue=%d)\n",
+              report.offered_qps, report.duration_seconds, options.workers,
+              options.max_batch,
+              static_cast<long long>(options.max_wait_us),
+              options.queue_capacity);
+  std::printf("  submitted %llu  completed %llu  shed %llu  failed %llu\n",
+              static_cast<unsigned long long>(report.submitted),
+              static_cast<unsigned long long>(report.completed),
+              static_cast<unsigned long long>(report.shed),
+              static_cast<unsigned long long>(report.failed));
+  std::printf("  sustained %.0f req/s  latency p50 %.0f us  p95 %.0f us  "
+              "p99 %.0f us\n",
+              report.sustained_qps, report.p50_us, report.p95_us,
+              report.p99_us);
+  std::printf("  server: %llu batches for %llu requests (%.1f req/batch)\n",
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.completed),
+              stats.batches > 0
+                  ? static_cast<double>(stats.completed) /
+                        static_cast<double>(stats.batches)
+                  : 0.0);
+  if (recorder.active()) {
+    if (auto s = recorder.Flush(); !s.ok()) return Fail(s);
+    std::printf("wrote metrics to %s\n", recorder.path().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   core::FlagParser flags;
   if (!flags.Parse(argc, argv).ok() || flags.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: hygnn_cli <generate|train|evaluate|predict|screen> "
+                 "usage: hygnn_cli "
+                 "<generate|train|evaluate|predict|screen|serve-load> "
                  "[flags]\n");
     return 1;
   }
@@ -349,6 +464,7 @@ int main(int argc, char** argv) {
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "predict") return CmdPredict(flags);
   if (command == "screen") return CmdScreen(flags);
+  if (command == "serve-load") return CmdServeLoad(flags);
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return 1;
 }

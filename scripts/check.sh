@@ -48,9 +48,10 @@ echo "== test (${PRESET}) =="
 ctest --preset "${PRESET}" -j "${JOBS}"
 
 # The thread-pool kernels, the serving engine (batched PairScorer
-# chunks score on pool workers), the obs layer (kernel-timer slot
-# table aggregates spans from pool workers with relaxed atomics), and
-# the tape executor (fused kernels run on pool workers; exec-stats
+# chunks score on pool workers; serve::Server batches requests across
+# submitter and scorer-worker threads), the obs layer (kernel-timer
+# slot table aggregates spans from pool workers with relaxed atomics),
+# and the tape executor (fused kernels run on pool workers; exec-stats
 # counters and the fused-name intern table are shared) are the
 # concurrent code in the repo, so their tests always get a
 # ThreadSanitizer pass, whatever preset the main suite ran under.
@@ -60,10 +61,12 @@ if [[ "${PRESET}" != "tsan" ]]; then
   echo "== threaded tests (tsan) =="
   configure_if_needed tsan
   cmake --build --preset tsan -j "${JOBS}" \
-    --target thread_pool_test kernels_test serve_test obs_test tape_test
+    --target thread_pool_test kernels_test serve_test server_test \
+    obs_test tape_test
   HYGNN_NUM_THREADS=4 build-tsan/tests/thread_pool_test
   HYGNN_NUM_THREADS=4 build-tsan/tests/kernels_test
   HYGNN_NUM_THREADS=4 build-tsan/tests/serve_test
+  HYGNN_NUM_THREADS=4 build-tsan/tests/server_test
   HYGNN_NUM_THREADS=4 build-tsan/tests/obs_test
   HYGNN_NUM_THREADS=4 build-tsan/tests/tape_test
 fi

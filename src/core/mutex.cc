@@ -1,5 +1,7 @@
 #include "core/mutex.h"
 
+#include <chrono>
+
 namespace hygnn::core {
 
 // The caller holds `mu` (enforced by the HYGNN_REQUIRES annotation on
@@ -14,6 +16,18 @@ void CondVar::Wait(Mutex& mu) {
   std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
   cv_.wait(lock);
   lock.release();
+}
+
+// Same adopt/release dance as Wait; wait_for uses steady_clock
+// internally, so the deadline is immune to wall-clock adjustments
+// (src/core is exempt from lint rule 10 for exactly this kind of
+// timing primitive).
+bool CondVar::WaitFor(Mutex& mu, int64_t timeout_us) {
+  if (timeout_us <= 0) return false;
+  std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+  const auto status = cv_.wait_for(lock, std::chrono::microseconds(timeout_us));
+  lock.release();
+  return status == std::cv_status::no_timeout;
 }
 
 }  // namespace hygnn::core

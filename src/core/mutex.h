@@ -2,6 +2,7 @@
 #define HYGNN_CORE_MUTEX_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "core/thread_annotations.h"
@@ -77,6 +78,14 @@ class CondVar {
   /// the caller; it is released for the duration of the block and held
   /// again on return.
   void Wait(Mutex& mu) HYGNN_REQUIRES(mu);
+
+  /// Like Wait, but gives up after `timeout_us` microseconds. Returns
+  /// false on timeout, true when notified (or woken spuriously) — so
+  /// callers still loop on their predicate and treat the return value
+  /// only as "did the deadline pass". Non-positive timeouts return
+  /// false immediately without blocking. The dynamic batcher in
+  /// serve::Server uses this to close a batch at max-wait-μs.
+  bool WaitFor(Mutex& mu, int64_t timeout_us) HYGNN_REQUIRES(mu);
 
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kAlreadyExists:
       return "AlreadyExists";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -19,6 +19,7 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kAlreadyExists,
+  kResourceExhausted,
 };
 
 /// Returns a short human-readable name for a status code ("Ok",
@@ -56,6 +57,12 @@ class Status {
   }
   static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  /// A bounded resource (queue slot, quota) is at capacity right now;
+  /// the caller may retry after backing off. serve::Server sheds load
+  /// with this code when its request queue saturates.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -176,4 +176,13 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   pool->ParallelFor(begin, end, grain, fn);
 }
 
+WorkerThread::WorkerThread(std::function<void()> fn)
+    : thread_(std::move(fn)) {}
+
+WorkerThread::~WorkerThread() { Join(); }
+
+void WorkerThread::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
 }  // namespace hygnn::core

@@ -102,6 +102,34 @@ void SetNumThreads(int32_t n);
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& fn);
 
+/// A single long-lived service thread: serve::Server scorer workers,
+/// load-generator submitters, and similar loops that live for a whole
+/// service lifetime rather than one ParallelFor call. This file is the
+/// sole sanctioned home of raw std::thread (scripts/lint.py rule 11),
+/// so every service loop in src/serve, bench/, and examples/ routes
+/// through this wrapper instead of spawning threads itself.
+///
+/// `fn` starts running immediately; Join (idempotent, also called by
+/// the destructor) blocks until it returns. Movable so containers of
+/// workers can grow; moving a joined or moved-from thread is fine,
+/// and the moved-from object joins nothing.
+class WorkerThread {
+ public:
+  explicit WorkerThread(std::function<void()> fn);
+  WorkerThread(WorkerThread&& other) noexcept = default;
+  ~WorkerThread();
+
+  WorkerThread(const WorkerThread&) = delete;
+  WorkerThread& operator=(const WorkerThread&) = delete;
+  WorkerThread& operator=(WorkerThread&&) = delete;
+
+  /// Blocks until `fn` returned. Safe to call more than once.
+  void Join();
+
+ private:
+  std::thread thread_;
+};
+
 }  // namespace hygnn::core
 
 #endif  // HYGNN_CORE_THREAD_POOL_H_

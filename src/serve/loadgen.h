@@ -1,0 +1,66 @@
+#ifndef HYGNN_SERVE_LOADGEN_H_
+#define HYGNN_SERVE_LOADGEN_H_
+
+#include <cstdint>
+#include <span>
+
+#include "serve/request.h"
+#include "serve/server.h"
+
+namespace hygnn::serve {
+
+/// Open-loop load generation against a serve::Server, shared by
+/// bench/bench_load.cc and the CLI `serve-load` subcommand. Open-loop
+/// means submitters hold their offered schedule instead of waiting for
+/// responses — the only arrival model under which overload actually
+/// overloads (a closed loop self-throttles and can never saturate the
+/// queue), so it is what exercises the admission-control/shedding path.
+
+struct LoadConfig {
+  /// Aggregate request rate across all submitters. Each submitter
+  /// paces itself at offered_qps / submitters with burst catch-up when
+  /// it falls behind schedule, so the average rate holds even when a
+  /// sleep overshoots.
+  double offered_qps = 1000.0;
+  /// Length of the offered window. Submissions stop after this;
+  /// already-accepted requests are drained and still count.
+  double duration_seconds = 1.0;
+  /// Concurrent submitter threads (core::WorkerThread).
+  int32_t submitters = 2;
+};
+
+/// What one offered-load level produced. Latency is end-to-end
+/// (submit to response observed) in microseconds; percentiles are
+/// exact order statistics over every completed request, not histogram
+/// interpolations.
+struct LoadReport {
+  double offered_qps = 0.0;
+  double duration_seconds = 0.0;
+  /// Submission attempts: accepted + shed.
+  uint64_t submitted = 0;
+  /// Requests that delivered an Ok response.
+  uint64_t completed = 0;
+  /// Requests refused at admission with ResourceExhausted.
+  uint64_t shed = 0;
+  /// Accepted requests whose response was a non-Ok status.
+  uint64_t failed = 0;
+  /// completed / (offered window + drain time).
+  double sustained_qps = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Drives `server` at config.offered_qps for config.duration_seconds.
+/// Submitters draw requests round-robin from `requests` (read-only,
+/// shared; must be non-empty and outlive the call) and submit copies.
+/// The server must be started. Completion is observed opportunistically
+/// after each send and at drain, so a recorded latency can overstate
+/// the true one by up to one pacing interval — negligible at overload,
+/// where queueing dominates.
+LoadReport RunLoad(Server* server, std::span<const ScoreRequest> requests,
+                   const LoadConfig& config);
+
+}  // namespace hygnn::serve
+
+#endif  // HYGNN_SERVE_LOADGEN_H_

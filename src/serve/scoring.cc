@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
+#include <utility>
 
 #include "core/logging.h"
 #include "core/thread_pool.h"
@@ -36,6 +38,28 @@ const ScoreMetrics& GetScoreMetrics() {
   return metrics;
 }
 
+/// Validates every pair id against the catalog. Shared by ScorePairs
+/// and Screen so both report the same typed errors.
+core::Status ValidateAgainstStore(const EmbeddingStore& store,
+                                  std::span<const data::LabeledPair> pairs) {
+  if (!store.valid()) {
+    return core::Status::FailedPrecondition(
+        "embedding store is stale; Rebuild before scoring");
+  }
+  const int32_t num_drugs = store.num_drugs();
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const auto& pair = pairs[i];
+    if (pair.a < 0 || pair.a >= num_drugs || pair.b < 0 ||
+        pair.b >= num_drugs) {
+      return core::Status::InvalidArgument(
+          "pair " + std::to_string(i) + " = (" + std::to_string(pair.a) +
+          ", " + std::to_string(pair.b) + ") outside catalog of " +
+          std::to_string(num_drugs) + " drugs");
+    }
+  }
+  return core::Status::Ok();
+}
+
 }  // namespace
 
 PairScorer::PairScorer(const model::HyGnnModel* model,
@@ -45,21 +69,30 @@ PairScorer::PairScorer(const model::HyGnnModel* model,
   HYGNN_CHECK(store != nullptr);
 }
 
+core::Result<ScoreResponse> PairScorer::ScorePairs(
+    const ScoreRequest& request) const {
+  if (auto s = ValidateAgainstStore(*store_, request.pairs); !s.ok()) {
+    return s;
+  }
+  return ScoreResponse{ScoreValidated(request.pairs)};
+}
+
 std::vector<float> PairScorer::Score(
     std::span<const data::LabeledPair> pairs) const {
-  HYGNN_CHECK(store_->valid())
-      << "embedding store is stale; Rebuild before scoring";
+  // Deprecated shim: same validation as ScorePairs, but the historical
+  // crash-on-bad-input contract (callers predating typed errors never
+  // checked a status).
+  auto s = ValidateAgainstStore(*store_, pairs);
+  HYGNN_CHECK(s.ok()) << s.ToString();
+  return ScoreValidated(pairs);
+}
+
+std::vector<float> PairScorer::ScoreValidated(
+    std::span<const data::LabeledPair> pairs) const {
   const int64_t n = static_cast<int64_t>(pairs.size());
   std::vector<float> scores(static_cast<size_t>(n));
   if (n == 0) return scores;
   const int64_t dim = store_->dim();
-  const int32_t num_drugs = store_->num_drugs();
-  for (const auto& pair : pairs) {
-    HYGNN_CHECK(pair.a >= 0 && pair.a < num_drugs &&
-                pair.b >= 0 && pair.b < num_drugs)
-        << "pair (" << pair.a << ", " << pair.b << ") outside catalog of "
-        << num_drugs << " drugs";
-  }
   const bool record = obs::MetricsEnabled();
   const ScoreMetrics* metrics = record ? &GetScoreMetrics() : nullptr;
   obs::Timer score_timer;
@@ -92,14 +125,16 @@ std::vector<float> PairScorer::Score(
     obs::ScopedTimer decode_span(record ? metrics->decode_us : nullptr);
     const tensor::Tensor logits =
         model_->decoder().Score(q_a, q_b, /*training=*/false, nullptr);
-    // Serving contract: inference mode must keep the autograd graph
-    // empty — the logits are a parentless leaf.
-    HYGNN_DCHECK_EQ(tensor::GraphLint(logits).nodes_visited, 1)
-        << "serving path allocated autograd graph nodes";
     for (int64_t i = 0; i < m; ++i) {
       scores[static_cast<size_t>(lo + i)] =
           model::StableSigmoid(logits.data()[i]);
     }
+    // Serving contract: inference mode must keep no autograd graph.
+    // The data() read above materialized the tape, which strips the
+    // recording edges off no-grad nodes — checked after the read
+    // because until then the pending tape nodes ARE the graph.
+    HYGNN_DCHECK_EQ(tensor::GraphLint(logits).nodes_visited, 1)
+        << "serving path retained autograd graph nodes";
   });
   if (record) metrics->score_us->Observe(score_timer.ElapsedMicros());
   return scores;
@@ -109,9 +144,22 @@ ScreeningEngine::ScreeningEngine(const model::HyGnnModel* model,
                                  const EmbeddingStore* store)
     : store_(store), scorer_(model, store) {}
 
-std::vector<ScreeningHit> ScreeningEngine::TopK(int32_t query,
-                                                int32_t k) const {
-  HYGNN_CHECK(query >= 0 && query < store_->num_drugs());
+core::Result<ScreenResponse> ScreeningEngine::Screen(
+    const ScreenRequest& request) const {
+  if (!store_->valid()) {
+    return core::Status::FailedPrecondition(
+        "embedding store is stale; Rebuild before screening");
+  }
+  if (request.query < 0 || request.query >= store_->num_drugs()) {
+    return core::Status::InvalidArgument(
+        "query drug " + std::to_string(request.query) +
+        " outside catalog of " + std::to_string(store_->num_drugs()) +
+        " drugs");
+  }
+  if (request.top_k < 0) {
+    return core::Status::InvalidArgument(
+        "top_k must be >= 0, got " + std::to_string(request.top_k));
+  }
   const bool record = obs::MetricsEnabled();
   obs::Histogram* build_us = nullptr;
   obs::Histogram* score_us = nullptr;
@@ -122,35 +170,44 @@ std::vector<ScreeningHit> ScreeningEngine::TopK(int32_t query,
     score_us = registry.GetHistogram("serve.topk_score_us");
     rank_us = registry.GetHistogram("serve.topk_rank_us");
   }
-  std::vector<data::LabeledPair> pairs;
+  ScoreRequest score_request;
   {
     obs::ScopedTimer build_span(build_us);
-    pairs.reserve(static_cast<size_t>(store_->num_drugs()));
+    score_request.pairs.reserve(static_cast<size_t>(store_->num_drugs()));
     for (int32_t drug = 0; drug < store_->num_drugs(); ++drug) {
-      if (drug == query) continue;
-      pairs.push_back({query, drug, 0.0f});
+      if (drug == request.query) continue;
+      score_request.pairs.push_back({request.query, drug, 0.0f});
     }
   }
   std::vector<float> scores;
   {
     obs::ScopedTimer score_span(score_us);
-    scores = scorer_.Score(pairs);
+    auto scores_or = scorer_.ScorePairs(score_request);
+    if (!scores_or.ok()) return scores_or.status();
+    scores = std::move(scores_or).value().scores;
   }
   obs::ScopedTimer rank_span(rank_us);
-  std::vector<ScreeningHit> hits(pairs.size());
-  for (size_t i = 0; i < pairs.size(); ++i) {
-    hits[i] = {pairs[i].b, scores[i]};
+  ScreenResponse response;
+  response.hits.resize(score_request.pairs.size());
+  for (size_t i = 0; i < score_request.pairs.size(); ++i) {
+    response.hits[i] = {score_request.pairs[i].b, scores[i]};
   }
-  const size_t keep = std::min(hits.size(), static_cast<size_t>(
-                                                std::max(k, 0)));
-  std::partial_sort(hits.begin(),
-                    hits.begin() + static_cast<ptrdiff_t>(keep), hits.end(),
-                    [](const ScreeningHit& a, const ScreeningHit& b) {
-                      if (a.score != b.score) return a.score > b.score;
-                      return a.drug < b.drug;
-                    });
-  hits.resize(keep);
-  return hits;
+  const size_t keep = std::min(response.hits.size(),
+                               static_cast<size_t>(request.top_k));
+  std::partial_sort(response.hits.begin(),
+                    response.hits.begin() + static_cast<ptrdiff_t>(keep),
+                    response.hits.end(), ScreeningHitBefore);
+  response.hits.resize(keep);
+  return response;
+}
+
+std::vector<ScreeningHit> ScreeningEngine::TopK(int32_t query,
+                                                int32_t k) const {
+  // Deprecated shim over Screen; preserves the historical contract
+  // (crash on bad query, clamp negative k to an empty shortlist).
+  auto response = Screen({query, std::max(k, 0)});
+  HYGNN_CHECK(response.ok()) << response.status().ToString();
+  return std::move(response).value().hits;
 }
 
 }  // namespace hygnn::serve

@@ -5,10 +5,12 @@
 #include <span>
 #include <vector>
 
+#include "core/status.h"
 #include "data/drug.h"
 #include "hygnn/model.h"
 #include "hygnn/scorer.h"
 #include "serve/embedding_store.h"
+#include "serve/request.h"
 
 namespace hygnn::serve {
 
@@ -22,7 +24,10 @@ inline constexpr int64_t kScoreChunkPairs = 256;
 /// encoder entirely. Chunks are distributed over core::ParallelFor;
 /// because the decoder is row-independent and the store rows are exact
 /// copies of the encoder output, scores are bit-identical to the cold
-/// HyGnnModel::PredictProbabilities path at any thread count.
+/// HyGnnModel::PredictProbabilities path at any thread count — and
+/// independent of how pairs are grouped into requests, which is what
+/// lets serve::Server coalesce requests into dynamic batches without
+/// perturbing any result.
 ///
 /// Runs under tensor::InferenceModeScope; a debug assertion verifies
 /// that no autograd graph nodes are allocated on the serving path.
@@ -32,32 +37,47 @@ class PairScorer : public model::Scorer {
  public:
   PairScorer(const model::HyGnnModel* model, const EmbeddingStore* store);
 
+  /// The typed request/response surface. Rejects a stale store with
+  /// FailedPrecondition and out-of-catalog pair ids with
+  /// InvalidArgument — no crash paths, so a bad request from one
+  /// serving client cannot take the process down.
+  core::Result<ScoreResponse> ScorePairs(const ScoreRequest& request) const;
+
+  /// DEPRECATED: the pre-request/response signature, kept as a thin
+  /// shim over ScorePairs (and as the model::Scorer interface
+  /// adapter). Crashes on invalid input where ScorePairs returns a
+  /// typed status — prefer ScorePairs in new code.
   std::vector<float> Score(
       std::span<const data::LabeledPair> pairs) const override;
 
  private:
+  /// Scoring body shared by ScorePairs and the deprecated shim; input
+  /// must already be validated against the store.
+  std::vector<float> ScoreValidated(
+      std::span<const data::LabeledPair> pairs) const;
+
   const model::HyGnnModel* model_;
   const EmbeddingStore* store_;
 };
 
-/// One screening result: a catalog drug and its interaction probability
-/// with the query.
-struct ScreeningHit {
-  int32_t drug = 0;
-  float score = 0.0f;
-};
-
 /// Screens one drug against the whole cached catalog and returns the
-/// top-K candidates, ordered by descending score with ties broken by
-/// ascending drug id — a total order, so results are deterministic.
+/// top-K candidates in ScreeningHitBefore order (descending score,
+/// ties broken by ascending drug id — a total order, so results are
+/// deterministic across stdlib sort implementations).
 class ScreeningEngine {
  public:
   ScreeningEngine(const model::HyGnnModel* model,
                   const EmbeddingStore* store);
 
-  /// Top `k` interaction candidates for `query` among all other drugs
-  /// in the store (the query itself is excluded). Returns fewer than
-  /// `k` hits when the catalog is smaller.
+  /// The typed request/response surface. Rejects a stale store with
+  /// FailedPrecondition, an out-of-catalog query with InvalidArgument,
+  /// and a negative top_k with InvalidArgument.
+  core::Result<ScreenResponse> Screen(const ScreenRequest& request) const;
+
+  /// DEPRECATED: the pre-request/response signature, kept as a thin
+  /// shim over Screen. Crashes on invalid input where Screen returns a
+  /// typed status; negative `k` is clamped to 0 (the old behavior) —
+  /// prefer Screen in new code.
   std::vector<ScreeningHit> TopK(int32_t query, int32_t k) const;
 
  private:

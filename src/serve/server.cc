@@ -1,0 +1,268 @@
+#include "serve/server.h"
+
+#include <string>
+
+#include "core/logging.h"
+#include "obs/metrics.h"
+#include "obs/optime.h"
+
+namespace hygnn::serve {
+
+namespace {
+
+/// Pipeline-stage metric handles, fetched lazily (registration takes a
+/// mutex; Observe afterwards is lock-free from any worker).
+struct ServerMetrics {
+  obs::Histogram* queue_wait_us;
+  obs::Histogram* batch_pairs;
+  obs::Histogram* batch_score_us;
+};
+
+const ServerMetrics& GetServerMetrics() {
+  static const ServerMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    // Batch sizes are counts, not latencies: power-of-two buckets up
+    // to the largest batch any sane max_batch produces.
+    std::vector<double> size_bounds;
+    for (double bound = 1.0; bound <= 4096.0; bound *= 2.0) {
+      size_bounds.push_back(bound);
+    }
+    return ServerMetrics{
+        registry.GetHistogram("serve.server.queue_wait_us"),
+        registry.GetHistogram("serve.server.batch_pairs", size_bounds),
+        registry.GetHistogram("serve.server.batch_score_us")};
+  }();
+  return metrics;
+}
+
+}  // namespace
+
+core::Result<ScoreResponse> Server::Pending::Wait() {
+  core::MutexLock lock(mutex_);
+  while (!done_) done_cv_.Wait(mutex_);
+  return *result_;
+}
+
+bool Server::Pending::done() const {
+  core::MutexLock lock(mutex_);
+  return done_;
+}
+
+void Server::Pending::Complete(core::Result<ScoreResponse> result) {
+  core::MutexLock lock(mutex_);
+  HYGNN_DCHECK(!done_) << "request completed twice";
+  result_.emplace(std::move(result));
+  done_ = true;
+  done_cv_.NotifyAll();
+}
+
+Server::Server(const model::HyGnnModel* model, const EmbeddingStore* store,
+               const ServerOptions& options)
+    : options_(options), scorer_(model, store), store_(store) {
+  HYGNN_CHECK(store != nullptr);
+}
+
+Server::~Server() { Shutdown(); }
+
+core::Status Server::Start() {
+  if (auto s = options_.Validate(); !s.ok()) return s;
+  {
+    core::MutexLock lock(mutex_);
+    if (shutdown_) {
+      return core::Status::FailedPrecondition("server already shut down");
+    }
+    if (started_) {
+      return core::Status::FailedPrecondition("server already started");
+    }
+    started_ = true;
+  }
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int32_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return core::Status::Ok();
+}
+
+void Server::Shutdown() {
+  std::deque<std::shared_ptr<Pending>> orphans;
+  {
+    core::MutexLock lock(mutex_);
+    shutdown_ = true;
+    // Workers drain the queue before exiting; without workers the
+    // queue would strand its waiters, so those requests are failed
+    // inline below instead.
+    if (!started_) orphans.swap(queue_);
+    queue_nonempty_.NotifyAll();
+  }
+  for (auto& worker : workers_) worker.Join();
+  for (const auto& pending : orphans) {
+    pending->Complete(core::Status::FailedPrecondition(
+        "server shut down before Start; request was never scored"));
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+core::Result<std::shared_ptr<Server::Pending>> Server::SubmitAsync(
+    ScoreRequest request) {
+  // Validate before admission so a malformed request is refused with a
+  // precise error instead of poisoning the batch it would join.
+  if (!store_->valid()) {
+    return core::Status::FailedPrecondition(
+        "embedding store is stale; Rebuild before scoring");
+  }
+  const int32_t num_drugs = store_->num_drugs();
+  for (size_t i = 0; i < request.pairs.size(); ++i) {
+    const auto& pair = request.pairs[i];
+    if (pair.a < 0 || pair.a >= num_drugs || pair.b < 0 ||
+        pair.b >= num_drugs) {
+      return core::Status::InvalidArgument(
+          "pair " + std::to_string(i) + " = (" + std::to_string(pair.a) +
+          ", " + std::to_string(pair.b) + ") outside catalog of " +
+          std::to_string(num_drugs) + " drugs");
+    }
+  }
+  auto pending =
+      std::shared_ptr<Pending>(new Pending(std::move(request)));
+  if (obs::MetricsEnabled()) pending->enqueue_nanos_ = obs::NowNanos();
+  {
+    core::MutexLock lock(mutex_);
+    if (shutdown_) {
+      return core::Status::FailedPrecondition(
+          "server is shut down and no longer accepts requests");
+    }
+    if (queue_.size() >= static_cast<size_t>(options_.queue_capacity)) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return core::Status::ResourceExhausted(
+          "request queue at capacity (" +
+          std::to_string(options_.queue_capacity) +
+          "); shedding — retry after backoff");
+    }
+    queue_.push_back(pending);
+    queue_nonempty_.NotifyOne();
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  return pending;
+}
+
+core::Result<ScoreResponse> Server::Score(ScoreRequest request) {
+  auto pending = SubmitAsync(std::move(request));
+  if (!pending.ok()) return pending.status();
+  return pending.value()->Wait();
+}
+
+Server::Stats Server::stats() const {
+  Stats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void Server::WorkerLoop() {
+  while (true) {
+    auto batch = NextBatch();
+    if (batch.empty()) return;  // shutdown, queue drained
+    RunBatch(batch);
+  }
+}
+
+std::vector<std::shared_ptr<Server::Pending>> Server::NextBatch() {
+  std::vector<std::shared_ptr<Pending>> batch;
+  const bool record = obs::MetricsEnabled();
+  obs::Histogram* queue_wait_us =
+      record ? GetServerMetrics().queue_wait_us : nullptr;
+  int64_t total_pairs = 0;
+  // The pop-and-record steps are written out at both sites below
+  // rather than factored into a lambda: Thread Safety Analysis cannot
+  // see through lambda bodies, and queue_ is GUARDED_BY(mutex_).
+  core::MutexLock lock(mutex_);
+  while (queue_.empty() && !shutdown_) queue_nonempty_.Wait(mutex_);
+  if (queue_.empty()) return batch;  // shutdown && drained
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  total_pairs += static_cast<int64_t>(batch.back()->request_.pairs.size());
+  const uint64_t open_nanos = obs::NowNanos();
+  if (queue_wait_us != nullptr && batch.back()->enqueue_nanos_ != 0) {
+    queue_wait_us->Observe(
+        static_cast<double>(open_nanos - batch.back()->enqueue_nanos_) /
+        1e3);
+  }
+  // Dynamic batching: keep the batch open until it holds max_batch
+  // pairs or has been open max_wait_us, whichever comes first. A
+  // shutdown closes it immediately so draining stays fast.
+  while (total_pairs < options_.max_batch) {
+    if (!queue_.empty()) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      total_pairs +=
+          static_cast<int64_t>(batch.back()->request_.pairs.size());
+      if (queue_wait_us != nullptr && batch.back()->enqueue_nanos_ != 0) {
+        queue_wait_us->Observe(
+            static_cast<double>(obs::NowNanos() -
+                                batch.back()->enqueue_nanos_) /
+            1e3);
+      }
+      continue;
+    }
+    if (shutdown_) break;
+    const int64_t elapsed_us =
+        static_cast<int64_t>((obs::NowNanos() - open_nanos) / 1000);
+    const int64_t remaining_us = options_.max_wait_us - elapsed_us;
+    if (remaining_us <= 0) break;
+    // Timeout or wakeup — the loop re-checks the queue and the clock
+    // either way, so the return value is deliberately ignored.
+    queue_nonempty_.WaitFor(mutex_, remaining_us);
+  }
+  return batch;
+}
+
+void Server::RunBatch(const std::vector<std::shared_ptr<Pending>>& batch) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  const bool record = obs::MetricsEnabled();
+  const ServerMetrics* metrics = record ? &GetServerMetrics() : nullptr;
+  // One scorer invocation for the whole batch: the decoder treats each
+  // pair row independently and the scorer's chunk partition is fixed,
+  // so per-request scores match scoring each request alone bit-for-bit.
+  ScoreRequest merged;
+  size_t total_pairs = 0;
+  for (const auto& pending : batch) {
+    total_pairs += pending->request_.pairs.size();
+  }
+  merged.pairs.reserve(total_pairs);
+  for (const auto& pending : batch) {
+    merged.pairs.insert(merged.pairs.end(), pending->request_.pairs.begin(),
+                        pending->request_.pairs.end());
+  }
+  if (record) {
+    metrics->batch_pairs->Observe(static_cast<double>(total_pairs));
+  }
+  obs::Timer score_timer;
+  auto scored = scorer_.ScorePairs(merged);
+  if (record) {
+    metrics->batch_score_us->Observe(score_timer.ElapsedMicros());
+  }
+  if (!scored.ok()) {
+    // Batch-level failure (e.g. the store went stale between admission
+    // and scoring): every request in the batch gets the typed error.
+    for (const auto& pending : batch) {
+      pending->Complete(scored.status());
+      completed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  const std::vector<float>& scores = scored.value().scores;
+  size_t offset = 0;
+  for (const auto& pending : batch) {
+    const size_t count = pending->request_.pairs.size();
+    ScoreResponse response;
+    response.scores.assign(
+        scores.begin() + static_cast<ptrdiff_t>(offset),
+        scores.begin() + static_cast<ptrdiff_t>(offset + count));
+    offset += count;
+    pending->Complete(std::move(response));
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace hygnn::serve

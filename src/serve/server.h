@@ -1,0 +1,177 @@
+#ifndef HYGNN_SERVE_SERVER_H_
+#define HYGNN_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/mutex.h"
+#include "core/status.h"
+#include "core/thread_annotations.h"
+#include "core/thread_pool.h"
+#include "hygnn/model.h"
+#include "serve/embedding_store.h"
+#include "serve/request.h"
+#include "serve/scoring.h"
+
+namespace hygnn::serve {
+
+/// The serving front-end: a request pipeline that turns the
+/// library-call-per-batch PairScorer into a service loop with SLOs.
+///
+/// Architecture (marian-dev batch_generator style):
+///
+///   submitters ──> bounded MPMC queue ──> dynamic batcher ──> workers
+///                  (admission control)    (close a batch on    (shared
+///                   shed when full         max-size or          store
+///                   ResourceExhausted)     max-wait-μs)         cache)
+///
+/// * Admission control: SubmitAsync validates the request against the
+///   catalog, then enqueues — or sheds immediately with a typed
+///   ResourceExhausted when queue_capacity requests are already
+///   waiting. Overload degrades to fast typed errors, never to
+///   unbounded queue growth or blocked submitters.
+/// * Dynamic batching: a worker opens a batch with the oldest queued
+///   request and keeps appending requests until the batch holds
+///   max_batch pairs or has been open max_wait_us microseconds,
+///   whichever comes first. Requests are never split across batches.
+/// * Determinism: a batch is scored by concatenating its requests'
+///   pairs into one PairScorer::ScorePairs call. The scorer's fixed
+///   chunk partition and row-independent decoder make every per-request
+///   result bit-identical to scoring that request alone, regardless of
+///   batch composition, worker count, or arrival order (pinned by
+///   tests/server_test.cc).
+/// * Shutdown: Shutdown() stops admitting, then drains — every request
+///   already accepted completes with a real result before workers
+///   exit. Waiters never hang.
+///
+/// Requests may be submitted before Start(); they sit in the queue
+/// until workers spawn. Start/Shutdown are not safe to call
+/// concurrently with each other (call them from one owning thread);
+/// SubmitAsync/Score are safe from any number of threads.
+///
+/// The model and store must outlive the server. Workers read the store
+/// lock-free, so catalog mutations (AddDrug/Rebuild/Invalidate) must
+/// be quiesced around: Shutdown, mutate, Start a fresh server.
+class Server {
+ public:
+  /// A submitted request's completion handle. Submitter and worker
+  /// share ownership via shared_ptr, so a caller may drop its handle
+  /// without waiting (fire-and-forget) and the worker side stays valid.
+  class Pending {
+   public:
+    /// Blocks until the request's batch has been scored, then returns
+    /// the result (a copy — Wait may be called repeatedly). The
+    /// result is an error only when the whole batch failed to score
+    /// (e.g. the store went stale between admission and scoring) or
+    /// the server was torn down without ever starting.
+    core::Result<ScoreResponse> Wait();
+
+    /// True once the result is available; Wait will not block.
+    bool done() const;
+
+   private:
+    friend class Server;
+    explicit Pending(ScoreRequest request)
+        : request_(std::move(request)) {}
+
+    void Complete(core::Result<ScoreResponse> result);
+
+    /// Owned by the submitter until SubmitAsync succeeds, then by the
+    /// worker that batches it; never mutated after that hand-off, so
+    /// reads from the scoring path need no lock.
+    ScoreRequest request_;
+    /// Enqueue timestamp (obs::NowNanos) for the queue-wait histogram;
+    /// 0 when metrics were off at submit time.
+    uint64_t enqueue_nanos_ = 0;
+
+    mutable core::Mutex mutex_;
+    core::CondVar done_cv_;
+    bool done_ HYGNN_GUARDED_BY(mutex_) = false;
+    std::optional<core::Result<ScoreResponse>> result_
+        HYGNN_GUARDED_BY(mutex_);
+  };
+
+  /// Always-on pipeline counters (relaxed atomics — cheap enough to
+  /// never gate). The obs registry mirrors richer per-stage histograms
+  /// when metrics are enabled.
+  struct Stats {
+    uint64_t accepted = 0;   ///< requests admitted to the queue
+    uint64_t shed = 0;       ///< requests refused with ResourceExhausted
+    uint64_t completed = 0;  ///< requests whose result was delivered
+    uint64_t batches = 0;    ///< batches scored
+  };
+
+  /// Model and store must outlive the server; `options` are validated
+  /// by Start (construction never fails).
+  Server(const model::HyGnnModel* model, const EmbeddingStore* store,
+         const ServerOptions& options);
+
+  /// Joins workers; any still-queued request (server never started)
+  /// completes with a FailedPrecondition result rather than hanging
+  /// its waiter.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Validates options and spawns the worker pool. FailedPrecondition
+  /// when already started or already shut down.
+  core::Status Start();
+
+  /// Stops admission, drains every accepted request, joins workers.
+  /// Idempotent. Requests submitted after Shutdown are refused with
+  /// FailedPrecondition.
+  void Shutdown();
+
+  /// Non-blocking admission. Validates the request against the catalog
+  /// (InvalidArgument / FailedPrecondition) and applies admission
+  /// control (ResourceExhausted when the queue is at capacity). On Ok
+  /// the returned handle's Wait() delivers the response.
+  core::Result<std::shared_ptr<Pending>> SubmitAsync(ScoreRequest request);
+
+  /// Blocking convenience: SubmitAsync + Wait.
+  core::Result<ScoreResponse> Score(ScoreRequest request);
+
+  Stats stats() const;
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  /// Worker loop: close batches, score them, deliver results. Exits
+  /// when shutdown is signalled and the queue is drained.
+  void WorkerLoop() HYGNN_EXCLUDES(mutex_);
+
+  /// Blocks for the next batch (dynamic batching rules above). Empty
+  /// means shutdown-and-drained: the worker should exit.
+  std::vector<std::shared_ptr<Pending>> NextBatch() HYGNN_EXCLUDES(mutex_);
+
+  /// Scores one batch and completes every request in it.
+  void RunBatch(const std::vector<std::shared_ptr<Pending>>& batch);
+
+  const ServerOptions options_;
+  PairScorer scorer_;
+  const EmbeddingStore* store_;
+
+  mutable core::Mutex mutex_;
+  /// Signalled on enqueue and on shutdown.
+  core::CondVar queue_nonempty_;
+  std::deque<std::shared_ptr<Pending>> queue_ HYGNN_GUARDED_BY(mutex_);
+  bool started_ HYGNN_GUARDED_BY(mutex_) = false;
+  bool shutdown_ HYGNN_GUARDED_BY(mutex_) = false;
+
+  /// Touched only by Start/Shutdown/destructor (single owning thread).
+  std::vector<core::WorkerThread> workers_;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> batches_{0};
+};
+
+}  // namespace hygnn::serve
+
+#endif  // HYGNN_SERVE_SERVER_H_

@@ -37,6 +37,15 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
   EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
   EXPECT_STREQ(StatusCodeName(StatusCode::kAlreadyExists), "AlreadyExists");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+TEST(StatusTest, ResourceExhaustedFactory) {
+  Status status = Status::ResourceExhausted("queue at capacity");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(status.ToString(), "ResourceExhausted: queue at capacity");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -2,6 +2,7 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -282,6 +283,56 @@ TEST_F(ServeTest, ScreeningDeterministicAcrossThreadCounts) {
   for (size_t i = 1; i < runs[0].size(); ++i) {
     EXPECT_GE(runs[0][i - 1].score, runs[0][i].score);
   }
+}
+
+TEST_F(ServeTest, ScreeningBreaksTiedScoresByAscendingDrugId) {
+  const auto model = MakeModel();
+  // A catalog with duplicate hyperedges: drugs 1/3/5 share one
+  // substructure set and drugs 2/4 another, so their embeddings — and
+  // their scores against the query — are exactly equal. The shortlist
+  // must still be a strict order: ties resolve to ascending drug id.
+  const std::vector<std::vector<int32_t>> members = {
+      {0, 1}, {2, 3}, {4, 5}, {2, 3}, {4, 5}, {2, 3}};
+  auto hypergraph = graph::BuildDrugHypergraph(
+      members, featurizer_->num_substructures());
+  auto context = model::HypergraphContext::FromHypergraph(hypergraph);
+  EmbeddingStore store(&model);
+  ASSERT_TRUE(store.Rebuild(context).ok());
+
+  ScreeningEngine engine(&model, &store);
+  auto response = engine.Screen({/*query=*/0, /*top_k=*/5});
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  const auto& hits = response.value().hits;
+  ASSERT_EQ(hits.size(), 5u);
+
+  // The ties must really exist, or this test is vacuous.
+  std::map<int32_t, float> by_drug;
+  for (const auto& hit : hits) by_drug[hit.drug] = hit.score;
+  ASSERT_EQ(by_drug.size(), 5u);
+  EXPECT_EQ(by_drug[1], by_drug[3]);
+  EXPECT_EQ(by_drug[3], by_drug[5]);
+  EXPECT_EQ(by_drug[2], by_drug[4]);
+
+  // Strict ScreeningHitBefore order over the whole shortlist implies
+  // descending scores with tied runs in ascending-id order.
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_TRUE(ScreeningHitBefore(hits[i - 1], hits[i]))
+        << "rank " << i - 1 << " (drug " << hits[i - 1].drug
+        << ") vs rank " << i << " (drug " << hits[i].drug << ")";
+  }
+}
+
+TEST_F(ServeTest, ScreeningHitBeforeIsAStrictTotalOrder) {
+  const ScreeningHit high{7, 0.9f};
+  const ScreeningHit low{2, 0.1f};
+  const ScreeningHit low_later{5, 0.1f};
+  EXPECT_TRUE(ScreeningHitBefore(high, low));
+  EXPECT_FALSE(ScreeningHitBefore(low, high));
+  // Tie: lower drug id first, and never both ways.
+  EXPECT_TRUE(ScreeningHitBefore(low, low_later));
+  EXPECT_FALSE(ScreeningHitBefore(low_later, low));
+  // Irreflexive.
+  EXPECT_FALSE(ScreeningHitBefore(high, high));
 }
 
 TEST_F(ServeTest, AddDrugMatchesFullReencodeBitwise) {

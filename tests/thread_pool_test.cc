@@ -1,5 +1,6 @@
 #include "core/thread_pool.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <mutex>
 #include <set>
@@ -10,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "core/flags.h"
+#include "core/mutex.h"
 
 namespace hygnn::core {
 namespace {
@@ -130,6 +132,62 @@ TEST_F(ThreadPoolTest, PoolUsableAfterException) {
   for (int64_t i = 0; i < 1000; ++i) {
     ASSERT_EQ(counts[i], 1) << "index " << i;
   }
+}
+
+TEST(WorkerThreadTest, RunsTaskAndJoinIsIdempotent) {
+  int ran = 0;
+  {
+    WorkerThread worker([&ran] { ran = 1; });
+    worker.Join();
+    EXPECT_EQ(ran, 1);
+    worker.Join();  // second Join is a no-op
+  }  // destructor after Join is also a no-op
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(WorkerThreadTest, DestructorJoins) {
+  std::atomic<int> ran{0};
+  { WorkerThread worker([&ran] { ran.store(1); }); }
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(WorkerThreadTest, MovableIntoVector) {
+  std::atomic<int> ran{0};
+  {
+    std::vector<WorkerThread> workers;
+    for (int i = 0; i < 4; ++i) {
+      workers.emplace_back([&ran] { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(CondVarTest, WaitForTimesOutWithoutNotify) {
+  Mutex mutex;
+  CondVar cv;
+  MutexLock lock(mutex);
+  // Nobody will notify: WaitFor must come back false (timeout) and
+  // must refuse a non-positive budget without sleeping.
+  EXPECT_FALSE(cv.WaitFor(mutex, /*timeout_us=*/1000));
+  EXPECT_FALSE(cv.WaitFor(mutex, /*timeout_us=*/0));
+  EXPECT_FALSE(cv.WaitFor(mutex, /*timeout_us=*/-5));
+}
+
+TEST(CondVarTest, WaitForWakesOnNotify) {
+  Mutex mutex;
+  CondVar cv;
+  bool ready = false;
+  WorkerThread notifier([&] {
+    MutexLock lock(mutex);
+    ready = true;
+    cv.NotifyAll();
+  });
+  MutexLock lock(mutex);
+  // Generous budget: the worker's notify must land long before it.
+  while (!ready) {
+    cv.WaitFor(mutex, /*timeout_us=*/1'000'000);
+  }
+  EXPECT_TRUE(ready);
 }
 
 TEST(EnvIntTest, ParsesAndFallsBack) {
