@@ -3,7 +3,10 @@
 // several fractions/multiples of it and reports sustained QPS,
 // end-to-end latency percentiles (p50/p95/p99), and how many requests
 // admission control shed at each level, into BENCH_load.json
-// (override with --json_out=PATH).
+// (override with --json_out=PATH). A second sweep holds offered load
+// at 1x capacity and tightens per-request deadlines (none, 10 ms,
+// 1 ms) with client retries on, reporting the completed/shed/expired/
+// retried breakdown at each deadline.
 //
 // Before any load runs, every pooled request is scored once through
 // the server and once serially through PairScorer::ScorePairs; the two
@@ -154,6 +157,20 @@ int RunLoadBench(const LoadBenchConfig& config,
   std::printf("  bit_identical vs serial: %s\n",
               bit_identical ? "true" : "false");
 
+  const auto print_report = [](const char* label,
+                               const serve::LoadReport& report) {
+    std::printf("  %s: sustained %7.0f req/s  completed %llu  shed %llu  "
+                "expired %llu  retried %llu/%llu ok  p50 %.0f us  "
+                "p95 %.0f us  p99 %.0f us\n",
+                label, report.sustained_qps,
+                static_cast<unsigned long long>(report.completed),
+                static_cast<unsigned long long>(report.shed),
+                static_cast<unsigned long long>(report.expired),
+                static_cast<unsigned long long>(report.retried_ok),
+                static_cast<unsigned long long>(report.retried),
+                report.p50_us, report.p95_us, report.p99_us);
+  };
+
   const double fractions[] = {0.5, 1.0, 2.0};
   std::vector<serve::LoadReport> reports;
   for (const double fraction : fractions) {
@@ -162,21 +179,44 @@ int RunLoadBench(const LoadBenchConfig& config,
     load.duration_seconds = config.seconds_per_level;
     load.submitters = config.submitters;
     reports.push_back(serve::RunLoad(&server, pool, load));
-    const auto& report = reports.back();
-    std::printf("  offered %7.0f req/s (%.1fx): sustained %7.0f req/s  "
-                "shed %llu/%llu  p50 %.0f us  p95 %.0f us  p99 %.0f us\n",
-                report.offered_qps, fraction, report.sustained_qps,
-                static_cast<unsigned long long>(report.shed),
-                static_cast<unsigned long long>(report.submitted),
-                report.p50_us, report.p95_us, report.p99_us);
+    char label[64];
+    std::snprintf(label, sizeof(label), "offered %7.0f req/s (%.1fx)",
+                  reports.back().offered_qps, fraction);
+    print_report(label, reports.back());
+  }
+
+  // Deadline sweep: the same 1x-capacity load with per-request
+  // deadlines of infinity, 10 ms, and 1 ms, retries on. What changes
+  // is *how* pressure resolves — infinite deadlines only queue, tight
+  // ones turn queueing into expiry/shedding that retries then absorb.
+  const int64_t deadline_sweep_us[] = {0, 10000, 1000};
+  std::vector<serve::LoadReport> deadline_reports;
+  for (const int64_t timeout_us : deadline_sweep_us) {
+    serve::LoadConfig load;
+    load.offered_qps = capacity_qps;
+    load.duration_seconds = config.seconds_per_level;
+    load.submitters = config.submitters;
+    load.timeout_us = timeout_us;
+    load.retry = true;
+    deadline_reports.push_back(serve::RunLoad(&server, pool, load));
+    char label[64];
+    if (timeout_us == 0) {
+      std::snprintf(label, sizeof(label), "deadline      none (1.0x)");
+    } else {
+      std::snprintf(label, sizeof(label), "deadline %6lld us (1.0x)",
+                    static_cast<long long>(timeout_us));
+    }
+    print_report(label, deadline_reports.back());
   }
   server.Shutdown();
   const auto stats = server.stats();
   std::printf("  pipeline totals: accepted %llu  completed %llu  "
-              "shed %llu  batches %llu\n",
+              "shed %llu  expired %llu  hinted %llu  batches %llu\n",
               static_cast<unsigned long long>(stats.accepted),
               static_cast<unsigned long long>(stats.completed),
               static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.expired),
+              static_cast<unsigned long long>(stats.retried_after_hint),
               static_cast<unsigned long long>(stats.batches));
 
   std::FILE* file = std::fopen(json_path.c_str(), "w");
@@ -198,21 +238,36 @@ int RunLoadBench(const LoadBenchConfig& config,
                static_cast<long long>(config.server.max_wait_us),
                config.server.queue_capacity, config.submitters,
                capacity_qps, bit_identical ? "true" : "false");
-  for (size_t i = 0; i < reports.size(); ++i) {
-    const auto& report = reports[i];
+  const auto write_report = [file](const serve::LoadReport& report,
+                                   int64_t timeout_us, bool last) {
     std::fprintf(file,
                  "    {\"offered_qps\": %.1f, \"duration_s\": %.2f, "
+                 "\"timeout_us\": %lld, "
                  "\"submitted\": %llu, \"completed\": %llu, "
                  "\"shed\": %llu, \"failed\": %llu, "
+                 "\"expired\": %llu, \"retried\": %llu, "
+                 "\"retried_ok\": %llu, "
                  "\"sustained_qps\": %.1f, \"p50_us\": %.1f, "
                  "\"p95_us\": %.1f, \"p99_us\": %.1f}%s\n",
                  report.offered_qps, report.duration_seconds,
+                 static_cast<long long>(timeout_us),
                  static_cast<unsigned long long>(report.submitted),
                  static_cast<unsigned long long>(report.completed),
                  static_cast<unsigned long long>(report.shed),
                  static_cast<unsigned long long>(report.failed),
+                 static_cast<unsigned long long>(report.expired),
+                 static_cast<unsigned long long>(report.retried),
+                 static_cast<unsigned long long>(report.retried_ok),
                  report.sustained_qps, report.p50_us, report.p95_us,
-                 report.p99_us, i + 1 < reports.size() ? "," : "");
+                 report.p99_us, last ? "" : ",");
+  };
+  for (size_t i = 0; i < reports.size(); ++i) {
+    write_report(reports[i], 0, i + 1 == reports.size());
+  }
+  std::fprintf(file, "  ],\n  \"deadline_sweep\": [\n");
+  for (size_t i = 0; i < deadline_reports.size(); ++i) {
+    write_report(deadline_reports[i], deadline_sweep_us[i],
+                 i + 1 == deadline_reports.size());
   }
   std::fprintf(file, "  ]\n}\n");
   std::fclose(file);

@@ -350,12 +350,14 @@ int CmdScreen(const core::FlagParser& flags) {
 /// serve-load: stands up an in-process serve::Server over the model
 /// bundle's embedding cache and drives it open-loop at --qps for
 /// --seconds, reporting sustained QPS, end-to-end latency percentiles,
-/// and how many requests admission control shed.
+/// and how many requests admission control shed. --timeout_us stamps a
+/// per-request deadline (expired requests are reported separately) and
+/// --retry resubmits shed requests with jittered backoff.
 int CmdServeLoad(const core::FlagParser& flags) {
   if (auto s = flags.RequireKnown(KnownFlags(
           {"model", "queue_capacity", "max_batch", "max_wait_us", "workers",
            "qps", "seconds", "pairs_per_request", "submitters", "seed",
-           "metrics_out"}));
+           "timeout_us", "retry", "metrics_out"}));
       !s.ok()) {
     return Fail(s);
   }
@@ -409,10 +411,15 @@ int CmdServeLoad(const core::FlagParser& flags) {
   load.offered_qps = flags.GetDouble("qps", 500.0);
   load.duration_seconds = flags.GetDouble("seconds", 2.0);
   load.submitters = static_cast<int32_t>(flags.GetInt("submitters", 2));
+  // --timeout_us stamps a per-request deadline (0 = none); --retry
+  // turns on jittered-backoff retries of shed/doomed submissions.
+  load.timeout_us = flags.GetInt("timeout_us", 0);
+  load.retry = flags.GetBool("retry", false);
   if (load.offered_qps <= 0.0 || load.duration_seconds <= 0.0 ||
-      load.submitters < 1) {
+      load.submitters < 1 || load.timeout_us < 0) {
     return Fail(core::Status::InvalidArgument(
-        "--qps and --seconds must be positive, --submitters >= 1"));
+        "--qps, --seconds and --timeout_us must be positive, "
+        "--submitters >= 1"));
   }
   const auto report = serve::RunLoad(&server, pool, load);
   server.Shutdown();
@@ -424,11 +431,19 @@ int CmdServeLoad(const core::FlagParser& flags) {
               options.max_batch,
               static_cast<long long>(options.max_wait_us),
               options.queue_capacity);
-  std::printf("  submitted %llu  completed %llu  shed %llu  failed %llu\n",
+  std::printf("  submitted %llu  completed %llu  shed %llu  failed %llu  "
+              "expired %llu\n",
               static_cast<unsigned long long>(report.submitted),
               static_cast<unsigned long long>(report.completed),
               static_cast<unsigned long long>(report.shed),
-              static_cast<unsigned long long>(report.failed));
+              static_cast<unsigned long long>(report.failed),
+              static_cast<unsigned long long>(report.expired));
+  if (load.retry) {
+    std::printf("  retries: %llu backed-off resubmits, %llu eventually "
+                "accepted\n",
+                static_cast<unsigned long long>(report.retried),
+                static_cast<unsigned long long>(report.retried_ok));
+  }
   std::printf("  sustained %.0f req/s  latency p50 %.0f us  p95 %.0f us  "
               "p99 %.0f us\n",
               report.sustained_qps, report.p50_us, report.p95_us,

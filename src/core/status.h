@@ -20,6 +20,7 @@ enum class StatusCode {
   kIoError,
   kAlreadyExists,
   kResourceExhausted,
+  kDeadlineExceeded,
 };
 
 /// Returns a short human-readable name for a status code ("Ok",
@@ -63,6 +64,13 @@ class Status {
   /// with this code when its request queue saturates.
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// The operation's deadline passed before it could complete (or
+  /// before it even started). serve::Server completes expired requests
+  /// with this code instead of scoring them, and Pending::WaitFor
+  /// returns it when the result is not ready in time.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,64 @@
+#include "serve/chaos.h"
+
+#include <utility>
+
+#include "core/logging.h"
+
+namespace hygnn::serve {
+
+void FaultInjectingScorer::Reset() {
+  core::MutexLock lock(mutex_);
+  HYGNN_DCHECK(!stalled_) << "Reset with a worker parked in a stall";
+  batches_ = 0;
+  stall_at_ = 0;
+  released_ = false;
+  fail_at_ = 0;
+  fail_status_ = core::Status::Ok();
+}
+
+void FaultInjectingScorer::StallNthBatch(int64_t n) {
+  core::MutexLock lock(mutex_);
+  stall_at_ = n;
+  released_ = false;
+}
+
+void FaultInjectingScorer::FailNthBatch(int64_t n, core::Status status) {
+  HYGNN_CHECK(!status.ok()) << "injected batch failure must be non-Ok";
+  core::MutexLock lock(mutex_);
+  fail_at_ = n;
+  fail_status_ = std::move(status);
+}
+
+void FaultInjectingScorer::AwaitStalled() {
+  core::MutexLock lock(mutex_);
+  while (!stalled_) stalled_cv_.Wait(mutex_);
+}
+
+void FaultInjectingScorer::ReleaseStall() {
+  core::MutexLock lock(mutex_);
+  released_ = true;
+  released_cv_.NotifyAll();
+}
+
+int64_t FaultInjectingScorer::batches_started() const {
+  core::MutexLock lock(mutex_);
+  return batches_;
+}
+
+core::Status FaultInjectingScorer::OnBatchStart() {
+  core::MutexLock lock(mutex_);
+  const int64_t index = ++batches_;
+  if (index == stall_at_) {
+    stalled_ = true;
+    stalled_cv_.NotifyAll();
+    // `released_` is sticky rather than an event: a ReleaseStall that
+    // beats the worker to the stall point still releases it, so tests
+    // cannot deadlock on arrival order.
+    while (!released_) released_cv_.Wait(mutex_);
+    stalled_ = false;
+  }
+  if (index == fail_at_) return fail_status_;
+  return core::Status::Ok();
+}
+
+}  // namespace hygnn::serve

@@ -1,0 +1,86 @@
+#ifndef HYGNN_SERVE_CHAOS_H_
+#define HYGNN_SERVE_CHAOS_H_
+
+#include <cstdint>
+
+#include "core/mutex.h"
+#include "core/status.h"
+#include "core/thread_annotations.h"
+
+namespace hygnn::serve {
+
+/// Fault-injection seam for the serve::Server scoring path — the
+/// serving analogue of core::FaultInjectingFs. Installed via
+/// ServerOptions::chaos, it is invoked by every worker at batch open
+/// (after the batch closed, before scoring), where it can
+///
+///   * stall: park the worker that opens the Nth batch until the test
+///     releases it — a wedged scorer / GC pause / slow downstream.
+///     While the worker is parked the test can advance a ManualClock
+///     past request deadlines, which is what makes deadline-expiry
+///     tests deterministic on one CPU with zero wall-clock sleeps;
+///   * fail: make the Nth batch fail with an injected typed status
+///     (Internal crash, FailedPrecondition store-went-stale, ...) —
+///     every request in that batch must still complete with that
+///     status, never hang.
+///
+/// Batches are counted 1-based in the order workers open them (equal to
+/// the worker's RunBatch entry order; deterministic with one worker).
+/// All methods are thread-safe. Arm faults before the target batch
+/// opens; a stall must be released by the test — Shutdown() joins
+/// workers and will wait forever on a parked one, so release before or
+/// concurrently with shutdown.
+class FaultInjectingScorer {
+ public:
+  FaultInjectingScorer() = default;
+
+  FaultInjectingScorer(const FaultInjectingScorer&) = delete;
+  FaultInjectingScorer& operator=(const FaultInjectingScorer&) = delete;
+
+  /// Disarms every fault and resets the batch counter. Must not be
+  /// called while a worker is parked in a stall.
+  void Reset();
+
+  /// Parks the worker that opens the `n`th batch (1-based) until
+  /// ReleaseStall. n <= 0 disarms. Re-arming replaces the previous
+  /// target and forgets an unconsumed ReleaseStall.
+  void StallNthBatch(int64_t n);
+
+  /// Fails the `n`th batch (1-based) with `status` instead of scoring
+  /// it. n <= 0 disarms. `status` must be non-Ok.
+  void FailNthBatch(int64_t n, core::Status status);
+
+  /// Blocks the calling (test) thread until a worker is parked in the
+  /// armed stall — the synchronization point after which the test owns
+  /// the timeline (advance clocks, submit more requests, shut down).
+  void AwaitStalled();
+
+  /// Unparks the stalled worker. Safe to call before the worker
+  /// reaches the stall (the stall then passes straight through).
+  void ReleaseStall();
+
+  /// Batches opened so far (failed and stalled ones included).
+  int64_t batches_started() const;
+
+  /// Server-side entry point, called by Server::RunBatch at batch
+  /// open. Blocks while a stall targets this batch; returns the
+  /// injected failure for this batch, or Ok.
+  core::Status OnBatchStart();
+
+ private:
+  mutable core::Mutex mutex_;
+  /// Signalled when ReleaseStall unparks the worker.
+  core::CondVar released_cv_;
+  /// Signalled when a worker parks, waking AwaitStalled.
+  core::CondVar stalled_cv_;
+  int64_t batches_ HYGNN_GUARDED_BY(mutex_) = 0;
+  int64_t stall_at_ HYGNN_GUARDED_BY(mutex_) = 0;
+  bool stalled_ HYGNN_GUARDED_BY(mutex_) = false;
+  bool released_ HYGNN_GUARDED_BY(mutex_) = false;
+  int64_t fail_at_ HYGNN_GUARDED_BY(mutex_) = 0;
+  core::Status fail_status_ HYGNN_GUARDED_BY(mutex_);
+};
+
+}  // namespace hygnn::serve
+
+#endif  // HYGNN_SERVE_CHAOS_H_

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <deque>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -29,6 +30,9 @@ struct SubmitterTally {
   uint64_t completed = 0;
   uint64_t shed = 0;
   uint64_t failed = 0;
+  uint64_t expired = 0;
+  uint64_t retried = 0;
+  uint64_t retried_ok = 0;
   std::vector<double> latencies_us;
 };
 
@@ -45,6 +49,9 @@ void Reap(std::deque<Outstanding>* outstanding, SubmitterTally* tally,
     if (result.ok()) {
       ++tally->completed;
       tally->latencies_us.push_back(latency_us);
+    } else if (result.status().code() ==
+               core::StatusCode::kDeadlineExceeded) {
+      ++tally->expired;
     } else {
       ++tally->failed;
     }
@@ -88,9 +95,17 @@ LoadReport RunLoad(Server* server, std::span<const ScoreRequest> requests,
     threads.reserve(static_cast<size_t>(submitters));
     for (int32_t t = 0; t < submitters; ++t) {
       threads.emplace_back([server, requests, t, submitters, interval_nanos,
-                            window_nanos, start_nanos, &tallies] {
+                            window_nanos, start_nanos, &tallies, &config] {
         SubmitterTally& tally = tallies[static_cast<size_t>(t)];
         std::deque<Outstanding> outstanding;
+        // One policy per submitter, seed forked by thread index: the
+        // backoff schedule is reproducible but not lockstep across
+        // threads.
+        std::optional<RetryPolicy> policy;
+        if (config.retry) {
+          policy.emplace(config.retry_options,
+                         config.retry_seed + static_cast<uint64_t>(t));
+        }
         // Request i of this thread is globally request t + i*submitters,
         // scheduled at start + i*interval: deterministic pacing with
         // burst catch-up (no sleep when behind schedule).
@@ -107,15 +122,34 @@ LoadReport RunLoad(Server* server, std::span<const ScoreRequest> requests,
               (static_cast<size_t>(t) +
                static_cast<size_t>(i) * static_cast<size_t>(submitters)) %
               requests.size();
-          ++tally.submitted;
-          auto pending = server->SubmitAsync(requests[index]);
-          if (pending.ok()) {
-            outstanding.push_back({std::move(pending).value(), now});
-          } else if (pending.status().code() ==
-                     core::StatusCode::kResourceExhausted) {
-            ++tally.shed;
-          } else {
-            ++tally.failed;
+          ScoreRequest request = requests[index];
+          if (config.timeout_us > 0) request.timeout_us = config.timeout_us;
+          // Latency is measured from the first attempt, so backoff
+          // sleeps charge against the request like any other queueing.
+          for (int32_t attempt = 1;; ++attempt) {
+            ++tally.submitted;
+            auto pending = server->SubmitAsync(request);
+            if (pending.ok()) {
+              outstanding.push_back({std::move(pending).value(), now});
+              if (attempt > 1) ++tally.retried_ok;
+              break;
+            }
+            const core::Status& status = pending.status();
+            const int64_t backoff_us =
+                policy ? policy->NextBackoffUs(status, attempt) : -1;
+            if (backoff_us < 0) {
+              if (status.code() == core::StatusCode::kResourceExhausted) {
+                ++tally.shed;
+              } else {
+                ++tally.failed;
+              }
+              break;
+            }
+            ++tally.retried;
+            if (backoff_us > 0) {
+              std::this_thread::sleep_for(
+                  std::chrono::microseconds(backoff_us));
+            }
           }
           Reap(&outstanding, &tally, /*blocking=*/false);
         }
@@ -137,6 +171,9 @@ LoadReport RunLoad(Server* server, std::span<const ScoreRequest> requests,
     report.completed += tally.completed;
     report.shed += tally.shed;
     report.failed += tally.failed;
+    report.expired += tally.expired;
+    report.retried += tally.retried;
+    report.retried_ok += tally.retried_ok;
     latencies.insert(latencies.end(), tally.latencies_us.begin(),
                      tally.latencies_us.end());
   }

@@ -5,6 +5,7 @@
 #include <span>
 
 #include "serve/request.h"
+#include "serve/retry.h"
 #include "serve/server.h"
 
 namespace hygnn::serve {
@@ -27,6 +28,16 @@ struct LoadConfig {
   double duration_seconds = 1.0;
   /// Concurrent submitter threads (core::WorkerThread).
   int32_t submitters = 2;
+  /// Per-request deadline stamped into every submitted request
+  /// (ScoreRequest::timeout_us); 0 = no deadline.
+  int64_t timeout_us = 0;
+  /// When true, retryable admission failures (shed, admission-time
+  /// DeadlineExceeded) are retried with jittered exponential backoff
+  /// per `retry_options`. Each submitter gets its own RetryPolicy
+  /// seeded retry_seed + thread index, so runs are reproducible.
+  bool retry = false;
+  RetryOptions retry_options;
+  uint64_t retry_seed = 0x9e3779b97f4a7c15ULL;
 };
 
 /// What one offered-load level produced. Latency is end-to-end
@@ -36,14 +47,24 @@ struct LoadConfig {
 struct LoadReport {
   double offered_qps = 0.0;
   double duration_seconds = 0.0;
-  /// Submission attempts: accepted + shed.
+  /// Submission attempts, retries included.
   uint64_t submitted = 0;
   /// Requests that delivered an Ok response.
   uint64_t completed = 0;
   /// Requests refused at admission with ResourceExhausted.
   uint64_t shed = 0;
-  /// Accepted requests whose response was a non-Ok status.
+  /// Accepted requests whose response was a non-Ok status (expired
+  /// ones counted separately, not here).
   uint64_t failed = 0;
+  /// Accepted requests that came back DeadlineExceeded — the server
+  /// expired them at batch close or withheld a stale score.
+  uint64_t expired = 0;
+  /// Backed-off resubmissions performed (0 unless config.retry). Each
+  /// retry also counts in `submitted`.
+  uint64_t retried = 0;
+  /// Requests that were shed at least once but eventually accepted
+  /// thanks to a retry.
+  uint64_t retried_ok = 0;
   /// completed / (offered window + drain time).
   double sustained_qps = 0.0;
   double p50_us = 0.0;

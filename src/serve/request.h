@@ -10,6 +10,8 @@
 
 namespace hygnn::serve {
 
+class FaultInjectingScorer;
+
 /// The serve request/response surface: one typed value-type contract
 /// shared by the library calls (PairScorer::ScorePairs,
 /// ScreeningEngine::Screen) and the serve::Server request pipeline.
@@ -23,6 +25,16 @@ namespace hygnn::serve {
 /// response.
 struct ScoreRequest {
   std::vector<data::LabeledPair> pairs;
+
+  /// Relative deadline: the submitter needs the result within this many
+  /// microseconds of admission, or not at all. 0 means no deadline.
+  /// serve::Server converts it to an absolute monotonic deadline
+  /// (core::ActiveClock) at SubmitAsync and never scores an expired
+  /// request — it completes with DeadlineExceeded instead, checked both
+  /// when its batch closes and again after scoring, so a waiter never
+  /// outlives its deadline by more than one batch window. Negative
+  /// values are rejected with InvalidArgument.
+  int64_t timeout_us = 0;
 };
 
 /// Scores for one ScoreRequest: scores[i] is the interaction
@@ -88,6 +100,16 @@ struct ServerOptions {
   /// EmbeddingStore cache; each batch is scored on the worker that
   /// closed it.
   int32_t workers = 1;
+  /// Smoothing factor of the batch-service-time EWMA behind
+  /// deadline-aware admission (estimate = ewma_us * (queue depth + 1)
+  /// / workers): a request whose deadline cannot survive that estimate
+  /// is shed at admission with ResourceExhausted and a retry-after
+  /// hint instead of being queued to die. Must be in (0, 1].
+  double ewma_alpha = 0.2;
+  /// Chaos seam (tests): invoked at every batch open, may stall the
+  /// worker or fail the batch with an injected status. Borrowed; must
+  /// outlive the server. Production servers leave it null.
+  FaultInjectingScorer* chaos = nullptr;
 
   /// Typed validation of the knobs; Server::Start refuses to spawn on
   /// any non-Ok status.
@@ -108,6 +130,11 @@ struct ServerOptions {
     if (workers < 1) {
       return core::Status::InvalidArgument(
           "workers must be >= 1, got " + std::to_string(workers));
+    }
+    if (!(ewma_alpha > 0.0 && ewma_alpha <= 1.0)) {
+      return core::Status::InvalidArgument(
+          "ewma_alpha must be in (0, 1], got " +
+          std::to_string(ewma_alpha));
     }
     return core::Status::Ok();
   }

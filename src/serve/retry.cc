@@ -1,0 +1,66 @@
+#include "serve/retry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "core/logging.h"
+
+namespace hygnn::serve {
+
+core::Status RetryOptions::Validate() const {
+  if (max_attempts < 1) {
+    return core::Status::InvalidArgument(
+        "max_attempts must be >= 1, got " + std::to_string(max_attempts));
+  }
+  if (initial_backoff_us < 0 || max_backoff_us < initial_backoff_us) {
+    return core::Status::InvalidArgument(
+        "backoff range must satisfy 0 <= initial (" +
+        std::to_string(initial_backoff_us) + ") <= max (" +
+        std::to_string(max_backoff_us) + ")");
+  }
+  if (multiplier < 1.0) {
+    return core::Status::InvalidArgument(
+        "multiplier must be >= 1, got " + std::to_string(multiplier));
+  }
+  if (jitter < 0.0 || jitter > 1.0) {
+    return core::Status::InvalidArgument(
+        "jitter must be in [0, 1], got " + std::to_string(jitter));
+  }
+  if (retry_budget < 0) {
+    return core::Status::InvalidArgument(
+        "retry_budget must be >= 0, got " + std::to_string(retry_budget));
+  }
+  return core::Status::Ok();
+}
+
+RetryPolicy::RetryPolicy(const RetryOptions& options, uint64_t seed)
+    : options_(options), rng_(seed) {
+  HYGNN_CHECK(options.Validate().ok()) << options.Validate().ToString();
+}
+
+bool RetryPolicy::IsRetryable(const core::Status& status) {
+  return status.code() == core::StatusCode::kResourceExhausted ||
+         status.code() == core::StatusCode::kDeadlineExceeded;
+}
+
+int64_t RetryPolicy::NextBackoffUs(const core::Status& status,
+                                   int32_t attempt) {
+  HYGNN_DCHECK(attempt >= 1) << "attempt is 1-based";
+  if (!IsRetryable(status)) return -1;
+  if (attempt >= options_.max_attempts) return -1;
+  if (retries_granted_ >= options_.retry_budget) return -1;
+  ++retries_granted_;
+  // Exponential base for this retry, capped before jitter so the cap
+  // really is the worst case.
+  double backoff = static_cast<double>(options_.initial_backoff_us) *
+                   std::pow(options_.multiplier, attempt - 1);
+  backoff = std::min(backoff, static_cast<double>(options_.max_backoff_us));
+  // Jitter draws from [backoff * (1 - jitter), backoff]; one Uniform()
+  // per decision keeps the rng stream in lockstep with the schedule.
+  const double low = backoff * (1.0 - options_.jitter);
+  const double jittered = low + (backoff - low) * rng_.Uniform();
+  return static_cast<int64_t>(std::llround(jittered));
+}
+
+}  // namespace hygnn::serve

@@ -1,0 +1,72 @@
+#ifndef HYGNN_SERVE_RETRY_H_
+#define HYGNN_SERVE_RETRY_H_
+
+#include <cstdint>
+
+#include "core/rng.h"
+#include "core/status.h"
+
+namespace hygnn::serve {
+
+/// Client-side resilience knobs for retrying *admission* failures
+/// against serve::Server. Only admission-time refusals are retryable:
+/// ResourceExhausted (shed — the server itself asked for a backed-off
+/// retry) and DeadlineExceeded returned by SubmitAsync. A
+/// DeadlineExceeded delivered through Pending::Wait means the server
+/// already spent work on the request; retrying it would double charge
+/// an overloaded server, so callers must not feed those back in.
+struct RetryOptions {
+  /// Total tries per request, the first submission included. 1 turns
+  /// retrying off.
+  int32_t max_attempts = 4;
+  /// Backoff before the first retry; doubles (times `multiplier`) per
+  /// further retry, capped at max_backoff_us.
+  int64_t initial_backoff_us = 500;
+  double multiplier = 2.0;
+  int64_t max_backoff_us = 50000;
+  /// Jitter fraction in [0, 1]: the actual sleep is drawn uniformly
+  /// from [backoff * (1 - jitter), backoff], decorrelating retry storms
+  /// from submitters that were shed in the same instant.
+  double jitter = 0.5;
+  /// Retry budget across the policy's lifetime (all requests): once
+  /// this many retries have been granted, every further failure is
+  /// surfaced immediately. Bounds the retry amplification a degraded
+  /// server sees from one client to (1 + budget / requests).
+  int64_t retry_budget = 1000;
+
+  core::Status Validate() const;
+};
+
+/// Jittered-exponential-backoff retry schedule over core::Rng (seeded —
+/// two policies with the same seed emit identical backoff sequences,
+/// so load runs with retries stay reproducible). Not thread-safe: give
+/// each submitter thread its own policy (fork the seed).
+class RetryPolicy {
+ public:
+  RetryPolicy(const RetryOptions& options, uint64_t seed);
+
+  /// True for the two codes a client may retry: ResourceExhausted and
+  /// (admission-time) DeadlineExceeded. Everything else — validation
+  /// errors, shutdown refusals, scoring failures — is not transient.
+  static bool IsRetryable(const core::Status& status);
+
+  /// Decides retry number `attempt` (1-based: 1 = first retry) after
+  /// `status`. Returns the jittered backoff to sleep in microseconds,
+  /// or -1 when the request should give up (non-retryable status,
+  /// attempts exceeded, or budget exhausted).
+  int64_t NextBackoffUs(const core::Status& status, int32_t attempt);
+
+  /// Retries granted so far (budget consumed).
+  int64_t retries_granted() const { return retries_granted_; }
+
+  const RetryOptions& options() const { return options_; }
+
+ private:
+  RetryOptions options_;
+  core::Rng rng_;
+  int64_t retries_granted_ = 0;
+};
+
+}  // namespace hygnn::serve
+
+#endif  // HYGNN_SERVE_RETRY_H_

@@ -5,6 +5,7 @@
 #include "core/logging.h"
 #include "obs/metrics.h"
 #include "obs/optime.h"
+#include "serve/chaos.h"
 
 namespace hygnn::serve {
 
@@ -16,6 +17,8 @@ struct ServerMetrics {
   obs::Histogram* queue_wait_us;
   obs::Histogram* batch_pairs;
   obs::Histogram* batch_score_us;
+  /// Numeric Server::Health (0 serving / 1 degraded / 2 draining).
+  obs::Gauge* health;
 };
 
 const ServerMetrics& GetServerMetrics() {
@@ -30,7 +33,8 @@ const ServerMetrics& GetServerMetrics() {
     return ServerMetrics{
         registry.GetHistogram("serve.server.queue_wait_us"),
         registry.GetHistogram("serve.server.batch_pairs", size_bounds),
-        registry.GetHistogram("serve.server.batch_score_us")};
+        registry.GetHistogram("serve.server.batch_score_us"),
+        registry.GetGauge("serve.server.health")};
   }();
   return metrics;
 }
@@ -40,6 +44,31 @@ const ServerMetrics& GetServerMetrics() {
 core::Result<ScoreResponse> Server::Pending::Wait() {
   core::MutexLock lock(mutex_);
   while (!done_) done_cv_.Wait(mutex_);
+  return *result_;
+}
+
+core::Result<ScoreResponse> Server::Pending::WaitFor(int64_t timeout_us) {
+  // A *wall-time* bound on the caller's patience, not the request's
+  // server-side deadline — so it runs on the real monotonic clock
+  // (obs::NowNanos), not the core::Clock seam: a ManualClock cannot
+  // wake a blocked condition variable, and a caller that asked to be
+  // unblocked in N real microseconds must be.
+  const uint64_t start_nanos = obs::NowNanos();
+  core::MutexLock lock(mutex_);
+  while (!done_) {
+    const int64_t remaining_us =
+        timeout_us - static_cast<int64_t>(
+                         (obs::NowNanos() - start_nanos) / 1000);
+    if (remaining_us <= 0) {
+      return core::Status::DeadlineExceeded(
+          "result not ready within " + std::to_string(timeout_us) +
+          " us; the request is still in flight (Wait again to observe "
+          "its eventual result)");
+    }
+    // Timeout or wakeup — the loop re-checks done_ and the clock
+    // either way, so the return value is deliberately ignored.
+    done_cv_.WaitFor(mutex_, remaining_us);
+  }
   return *result_;
 }
 
@@ -58,7 +87,10 @@ void Server::Pending::Complete(core::Result<ScoreResponse> result) {
 
 Server::Server(const model::HyGnnModel* model, const EmbeddingStore* store,
                const ServerOptions& options)
-    : options_(options), scorer_(model, store), store_(store) {
+    : options_(options),
+      scorer_(model, store),
+      store_(store),
+      clock_(&core::ActiveClock()) {
   HYGNN_CHECK(store != nullptr);
 }
 
@@ -92,6 +124,7 @@ void Server::Shutdown() {
     // queue would strand its waiters, so those requests are failed
     // inline below instead.
     if (!started_) orphans.swap(queue_);
+    PublishHealthLocked();
     queue_nonempty_.NotifyAll();
   }
   for (auto& worker : workers_) worker.Join();
@@ -106,6 +139,11 @@ core::Result<std::shared_ptr<Server::Pending>> Server::SubmitAsync(
     ScoreRequest request) {
   // Validate before admission so a malformed request is refused with a
   // precise error instead of poisoning the batch it would join.
+  if (request.timeout_us < 0) {
+    return core::Status::InvalidArgument(
+        "timeout_us must be >= 0 (0 = no deadline), got " +
+        std::to_string(request.timeout_us));
+  }
   if (!store_->valid()) {
     return core::Status::FailedPrecondition(
         "embedding store is stale; Rebuild before scoring");
@@ -121,8 +159,14 @@ core::Result<std::shared_ptr<Server::Pending>> Server::SubmitAsync(
           std::to_string(num_drugs) + " drugs");
     }
   }
+  const uint64_t now_nanos = clock_->NowNanos();
   auto pending =
       std::shared_ptr<Pending>(new Pending(std::move(request)));
+  if (pending->request_.timeout_us > 0) {
+    pending->deadline_nanos_ =
+        now_nanos +
+        static_cast<uint64_t>(pending->request_.timeout_us) * 1000;
+  }
   if (obs::MetricsEnabled()) pending->enqueue_nanos_ = obs::NowNanos();
   {
     core::MutexLock lock(mutex_);
@@ -130,14 +174,44 @@ core::Result<std::shared_ptr<Server::Pending>> Server::SubmitAsync(
       return core::Status::FailedPrecondition(
           "server is shut down and no longer accepts requests");
     }
+    const int64_t est_wait_us = EstimatedWaitUsLocked();
+    // Deadline-aware admission: once the EWMA is warm, a request that
+    // cannot make its deadline through the current queue is dead on
+    // arrival — shed it now with a typed error and a hint, instead of
+    // queueing it to expire (which would still cost a queue slot and a
+    // batch-close check).
+    if (pending->deadline_nanos_ != 0 && est_wait_us > 0 &&
+        now_nanos + static_cast<uint64_t>(est_wait_us) * 1000 >
+            pending->deadline_nanos_) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      retried_after_hint_.fetch_add(1, std::memory_order_relaxed);
+      PublishHealthLocked();
+      return core::Status::ResourceExhausted(
+          "deadline of " + std::to_string(pending->request_.timeout_us) +
+          " us cannot be met (estimated wait ~" +
+          std::to_string(est_wait_us) +
+          " us through a queue of " + std::to_string(queue_.size()) +
+          "); shedding — retry after ~" + std::to_string(est_wait_us) +
+          " us");
+    }
     if (queue_.size() >= static_cast<size_t>(options_.queue_capacity)) {
       shed_.fetch_add(1, std::memory_order_relaxed);
-      return core::Status::ResourceExhausted(
-          "request queue at capacity (" +
-          std::to_string(options_.queue_capacity) +
-          "); shedding — retry after backoff");
+      std::string message = "request queue at capacity (" +
+                            std::to_string(options_.queue_capacity) +
+                            "); shedding — retry after";
+      if (est_wait_us > 0) {
+        // The estimated drain time is the best available retry-after
+        // hint; before the first batch completes there is none.
+        retried_after_hint_.fetch_add(1, std::memory_order_relaxed);
+        message += " ~" + std::to_string(est_wait_us) + " us";
+      } else {
+        message += " backoff";
+      }
+      PublishHealthLocked();
+      return core::Status::ResourceExhausted(std::move(message));
     }
     queue_.push_back(pending);
+    PublishHealthLocked();
     queue_nonempty_.NotifyOne();
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -156,7 +230,48 @@ Server::Stats Server::stats() const {
   stats.shed = shed_.load(std::memory_order_relaxed);
   stats.completed = completed_.load(std::memory_order_relaxed);
   stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.expired = expired_.load(std::memory_order_relaxed);
+  stats.retried_after_hint =
+      retried_after_hint_.load(std::memory_order_relaxed);
   return stats;
+}
+
+Server::Health Server::health() const {
+  core::MutexLock lock(mutex_);
+  return HealthLocked();
+}
+
+Server::Health Server::HealthLocked() const {
+  if (shutdown_) return Health::kDraining;
+  if (queue_.size() * 2 >= static_cast<size_t>(options_.queue_capacity)) {
+    return Health::kDegraded;
+  }
+  return Health::kServing;
+}
+
+void Server::PublishHealthLocked() {
+  if (!obs::MetricsEnabled()) return;
+  GetServerMetrics().health->Set(
+      static_cast<double>(static_cast<int32_t>(HealthLocked())));
+}
+
+int64_t Server::EstimatedWaitUsLocked() const {
+  if (ewma_batch_us_ <= 0.0) return 0;  // cold: no batch completed yet
+  // Worst case every queued request closes its own batch, spread over
+  // the worker pool; the incoming request itself is the +1.
+  const double batches_ahead = static_cast<double>(queue_.size()) + 1.0;
+  const double est_us =
+      ewma_batch_us_ * batches_ahead / static_cast<double>(options_.workers);
+  return est_us < 1.0 ? 1 : static_cast<int64_t>(est_us);
+}
+
+void Server::CompleteExpiredRequest(
+    const std::shared_ptr<Pending>& pending) {
+  pending->Complete(core::Status::DeadlineExceeded(
+      "deadline of " + std::to_string(pending->request_.timeout_us) +
+      " us passed before the request was scored"));
+  expired_.fetch_add(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Server::WorkerLoop() {
@@ -173,52 +288,88 @@ std::vector<std::shared_ptr<Server::Pending>> Server::NextBatch() {
   obs::Histogram* queue_wait_us =
       record ? GetServerMetrics().queue_wait_us : nullptr;
   int64_t total_pairs = 0;
-  // The pop-and-record steps are written out at both sites below
+  uint64_t open_nanos = 0;
+  // The pop-expire-record steps are written out at both sites below
   // rather than factored into a lambda: Thread Safety Analysis cannot
   // see through lambda bodies, and queue_ is GUARDED_BY(mutex_).
   core::MutexLock lock(mutex_);
-  while (queue_.empty() && !shutdown_) queue_nonempty_.Wait(mutex_);
-  if (queue_.empty()) return batch;  // shutdown && drained
-  batch.push_back(std::move(queue_.front()));
-  queue_.pop_front();
-  total_pairs += static_cast<int64_t>(batch.back()->request_.pairs.size());
-  const uint64_t open_nanos = obs::NowNanos();
-  if (queue_wait_us != nullptr && batch.back()->enqueue_nanos_ != 0) {
-    queue_wait_us->Observe(
-        static_cast<double>(open_nanos - batch.back()->enqueue_nanos_) /
-        1e3);
+  // Open the batch with the oldest *live* request. Requests whose
+  // deadline passed while they queued are completed with
+  // DeadlineExceeded right here — promptly, not parked until the next
+  // batch happens to close (CompleteExpiredRequest only takes the
+  // Pending's own lock; no path acquires mutex_ after it, so the
+  // nested acquisition cannot deadlock).
+  while (batch.empty()) {
+    while (queue_.empty() && !shutdown_) queue_nonempty_.Wait(mutex_);
+    if (queue_.empty()) return batch;  // shutdown && drained
+    std::shared_ptr<Pending> pending = std::move(queue_.front());
+    queue_.pop_front();
+    if (pending->deadline_nanos_ != 0 &&
+        clock_->NowNanos() >= pending->deadline_nanos_) {
+      CompleteExpiredRequest(pending);
+      continue;
+    }
+    total_pairs += static_cast<int64_t>(pending->request_.pairs.size());
+    open_nanos = clock_->NowNanos();
+    if (queue_wait_us != nullptr && pending->enqueue_nanos_ != 0) {
+      queue_wait_us->Observe(
+          static_cast<double>(obs::NowNanos() - pending->enqueue_nanos_) /
+          1e3);
+    }
+    batch.push_back(std::move(pending));
   }
   // Dynamic batching: keep the batch open until it holds max_batch
   // pairs or has been open max_wait_us, whichever comes first. A
   // shutdown closes it immediately so draining stays fast.
   while (total_pairs < options_.max_batch) {
     if (!queue_.empty()) {
-      batch.push_back(std::move(queue_.front()));
+      std::shared_ptr<Pending> pending = std::move(queue_.front());
       queue_.pop_front();
-      total_pairs +=
-          static_cast<int64_t>(batch.back()->request_.pairs.size());
-      if (queue_wait_us != nullptr && batch.back()->enqueue_nanos_ != 0) {
+      if (pending->deadline_nanos_ != 0 &&
+          clock_->NowNanos() >= pending->deadline_nanos_) {
+        CompleteExpiredRequest(pending);
+        continue;
+      }
+      total_pairs += static_cast<int64_t>(pending->request_.pairs.size());
+      if (queue_wait_us != nullptr && pending->enqueue_nanos_ != 0) {
         queue_wait_us->Observe(
             static_cast<double>(obs::NowNanos() -
-                                batch.back()->enqueue_nanos_) /
+                                pending->enqueue_nanos_) /
             1e3);
       }
+      batch.push_back(std::move(pending));
       continue;
     }
     if (shutdown_) break;
     const int64_t elapsed_us =
-        static_cast<int64_t>((obs::NowNanos() - open_nanos) / 1000);
+        static_cast<int64_t>((clock_->NowNanos() - open_nanos) / 1000);
     const int64_t remaining_us = options_.max_wait_us - elapsed_us;
     if (remaining_us <= 0) break;
-    // Timeout or wakeup — the loop re-checks the queue and the clock
-    // either way, so the return value is deliberately ignored.
-    queue_nonempty_.WaitFor(mutex_, remaining_us);
+    // Wakeup (true) re-checks the queue and the seam clock; a real-time
+    // timeout (false) closes the batch outright — under a ManualClock
+    // the seam's elapsed time never advances on its own, and the batch
+    // window must still be bounded in wall time.
+    if (!queue_nonempty_.WaitFor(mutex_, remaining_us)) break;
   }
   return batch;
 }
 
 void Server::RunBatch(const std::vector<std::shared_ptr<Pending>>& batch) {
   batches_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t service_start_nanos = clock_->NowNanos();
+  // Chaos seam: may park this worker (injected stall) or fail the
+  // whole batch with an injected status — which must flow to every
+  // waiter as a typed result, exactly like a real scoring failure.
+  if (options_.chaos != nullptr) {
+    if (auto injected = options_.chaos->OnBatchStart(); !injected.ok()) {
+      for (const auto& pending : batch) {
+        pending->Complete(injected);
+        completed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      FinishBatch(service_start_nanos);
+      return;
+    }
+  }
   const bool record = obs::MetricsEnabled();
   const ServerMetrics* metrics = record ? &GetServerMetrics() : nullptr;
   // One scorer invocation for the whole batch: the decoder treats each
@@ -249,12 +400,24 @@ void Server::RunBatch(const std::vector<std::shared_ptr<Pending>>& batch) {
       pending->Complete(scored.status());
       completed_.fetch_add(1, std::memory_order_relaxed);
     }
+    FinishBatch(service_start_nanos);
     return;
   }
   const std::vector<float>& scores = scored.value().scores;
+  // Post-score expiry: the deadline may have passed while the batch
+  // was being scored (or stalled). The waiter asked for the result
+  // within its deadline or not at all, so it gets the typed error;
+  // the computed scores are withheld, never delivered late.
+  const uint64_t delivery_nanos = clock_->NowNanos();
   size_t offset = 0;
   for (const auto& pending : batch) {
     const size_t count = pending->request_.pairs.size();
+    if (pending->deadline_nanos_ != 0 &&
+        delivery_nanos >= pending->deadline_nanos_) {
+      CompleteExpiredRequest(pending);
+      offset += count;
+      continue;
+    }
     ScoreResponse response;
     response.scores.assign(
         scores.begin() + static_cast<ptrdiff_t>(offset),
@@ -263,6 +426,24 @@ void Server::RunBatch(const std::vector<std::shared_ptr<Pending>>& batch) {
     pending->Complete(std::move(response));
     completed_.fetch_add(1, std::memory_order_relaxed);
   }
+  FinishBatch(service_start_nanos);
+}
+
+void Server::FinishBatch(uint64_t service_start_nanos) {
+  const double sample_us =
+      static_cast<double>(clock_->NowNanos() - service_start_nanos) / 1e3;
+  core::MutexLock lock(mutex_);
+  // First completed batch seeds the EWMA; afterwards standard
+  // exponential smoothing. A ManualClock that never advances keeps the
+  // EWMA cold (sample 0), which tests use to isolate admission
+  // behavior from service-time estimation.
+  if (sample_us > 0.0) {
+    ewma_batch_us_ = ewma_batch_us_ == 0.0
+                         ? sample_us
+                         : options_.ewma_alpha * sample_us +
+                               (1.0 - options_.ewma_alpha) * ewma_batch_us_;
+  }
+  PublishHealthLocked();
 }
 
 }  // namespace hygnn::serve

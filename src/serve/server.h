@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/clock.h"
 #include "core/mutex.h"
 #include "core/status.h"
 #include "core/thread_annotations.h"
@@ -54,6 +55,22 @@ namespace hygnn::serve {
 /// concurrently with each other (call them from one owning thread);
 /// SubmitAsync/Score are safe from any number of threads.
 ///
+/// Deadlines (the request-lifecycle robustness layer):
+/// * ScoreRequest::timeout_us becomes an absolute monotonic deadline
+///   (core::ActiveClock, captured at construction) at admission.
+/// * A request whose deadline has passed is never scored: expiry is
+///   checked when its batch closes (it completes with DeadlineExceeded
+///   and never enters the batch) and again after scoring (the deadline
+///   passed mid-batch — the stale score is withheld and the typed
+///   error delivered instead). A waiter therefore never outlives its
+///   deadline by more than one batch window.
+/// * Deadline-aware admission: once the batch-service-time EWMA warms
+///   up, a request that cannot make its deadline through the current
+///   queue (estimate = ewma_us * (depth + 1) / workers) is shed at
+///   SubmitAsync with ResourceExhausted and a "retry after ~N us"
+///   hint, so overload degrades to fast typed errors instead of
+///   queueing work that is already dead.
+///
 /// The model and store must outlive the server. Workers read the store
 /// lock-free, so catalog mutations (AddDrug/Rebuild/Invalidate) must
 /// be quiesced around: Shutdown, mutate, Start a fresh server.
@@ -71,6 +88,15 @@ class Server {
     /// the server was torn down without ever starting.
     core::Result<ScoreResponse> Wait();
 
+    /// Like Wait, but gives up after `timeout_us` microseconds of
+    /// *wall* time and returns DeadlineExceeded when the result is not
+    /// ready — a bounded wait for callers that must not block
+    /// indefinitely even if their request carried no server-side
+    /// deadline. The request stays in flight: Wait/WaitFor may be
+    /// called again and will observe the eventual result. Non-positive
+    /// timeouts make this a non-blocking poll.
+    core::Result<ScoreResponse> WaitFor(int64_t timeout_us);
+
     /// True once the result is available; Wait will not block.
     bool done() const;
 
@@ -85,6 +111,10 @@ class Server {
     /// worker that batches it; never mutated after that hand-off, so
     /// reads from the scoring path need no lock.
     ScoreRequest request_;
+    /// Absolute monotonic deadline (core::Clock nanos) stamped at
+    /// admission; 0 when the request carries no deadline. Like
+    /// request_, immutable after the submit hand-off.
+    uint64_t deadline_nanos_ = 0;
     /// Enqueue timestamp (obs::NowNanos) for the queue-wait histogram;
     /// 0 when metrics were off at submit time.
     uint64_t enqueue_nanos_ = 0;
@@ -104,6 +134,26 @@ class Server {
     uint64_t shed = 0;       ///< requests refused with ResourceExhausted
     uint64_t completed = 0;  ///< requests whose result was delivered
     uint64_t batches = 0;    ///< batches scored
+    /// Accepted requests completed with DeadlineExceeded instead of a
+    /// score (expired at batch close or during scoring). Every expired
+    /// request also counts in `completed` — its typed result was
+    /// delivered.
+    uint64_t expired = 0;
+    /// Shed responses that carried a computed "retry after ~N us"
+    /// hint (EWMA warm). Sheds before the first batch completes have
+    /// no estimate and say "retry after backoff" instead.
+    uint64_t retried_after_hint = 0;
+  };
+
+  /// Coarse health for load balancers and the obs gauge
+  /// ("serve.server.health", numeric value of this enum): kServing
+  /// while the queue is comfortably below capacity, kDegraded once it
+  /// is at least half full (admission may start shedding), kDraining
+  /// after Shutdown began (all new requests refused).
+  enum class Health : int32_t {
+    kServing = 0,
+    kDegraded = 1,
+    kDraining = 2,
   };
 
   /// Model and store must outlive the server; `options` are validated
@@ -138,6 +188,11 @@ class Server {
   core::Result<ScoreResponse> Score(ScoreRequest request);
 
   Stats stats() const;
+
+  /// Current degradation state (see Health above). Safe from any
+  /// thread.
+  Health health() const;
+
   const ServerOptions& options() const { return options_; }
 
  private:
@@ -145,16 +200,43 @@ class Server {
   /// when shutdown is signalled and the queue is drained.
   void WorkerLoop() HYGNN_EXCLUDES(mutex_);
 
-  /// Blocks for the next batch (dynamic batching rules above). Empty
-  /// means shutdown-and-drained: the worker should exit.
+  /// Blocks for the next batch (dynamic batching rules above).
+  /// Requests whose deadline passed while queued are completed with
+  /// DeadlineExceeded here instead of joining the batch. Empty means
+  /// shutdown-and-drained: the worker should exit.
   std::vector<std::shared_ptr<Pending>> NextBatch() HYGNN_EXCLUDES(mutex_);
 
-  /// Scores one batch and completes every request in it.
+  /// Scores one batch and completes every request in it (expired ones
+  /// with DeadlineExceeded), then folds the batch's service time into
+  /// the admission EWMA.
   void RunBatch(const std::vector<std::shared_ptr<Pending>>& batch);
+
+  /// Completes one expired request with DeadlineExceeded and bumps the
+  /// expired/completed counters. Callable with or without mutex_ held
+  /// (Pending has its own lock; no path acquires mutex_ after it).
+  void CompleteExpiredRequest(const std::shared_ptr<Pending>& pending);
+
+  /// Folds one batch's service time (open to results delivered) into
+  /// the admission EWMA and republishes health.
+  void FinishBatch(uint64_t service_start_nanos) HYGNN_EXCLUDES(mutex_);
+
+  Health HealthLocked() const HYGNN_REQUIRES(mutex_);
+
+  /// Mirrors the current health into the obs gauge (when metrics are
+  /// on). Called at every admission decision and batch completion.
+  void PublishHealthLocked() HYGNN_REQUIRES(mutex_);
+
+  /// Estimated microseconds until a request admitted now would have
+  /// its result, from the batch-service EWMA and queue depth; 0 while
+  /// the EWMA is cold (no batch completed yet).
+  int64_t EstimatedWaitUsLocked() const HYGNN_REQUIRES(mutex_);
 
   const ServerOptions options_;
   PairScorer scorer_;
   const EmbeddingStore* store_;
+  /// Deadline arithmetic reads this seam (core::ActiveClock at
+  /// construction), so tests drive expiry with a ManualClock.
+  core::Clock* clock_;
 
   mutable core::Mutex mutex_;
   /// Signalled on enqueue and on shutdown.
@@ -162,6 +244,10 @@ class Server {
   std::deque<std::shared_ptr<Pending>> queue_ HYGNN_GUARDED_BY(mutex_);
   bool started_ HYGNN_GUARDED_BY(mutex_) = false;
   bool shutdown_ HYGNN_GUARDED_BY(mutex_) = false;
+  /// EWMA of batch service time (batch open to results delivered) in
+  /// microseconds; 0 until the first batch completes. Drives
+  /// deadline-aware admission and retry-after hints.
+  double ewma_batch_us_ HYGNN_GUARDED_BY(mutex_) = 0.0;
 
   /// Touched only by Start/Shutdown/destructor (single owning thread).
   std::vector<core::WorkerThread> workers_;
@@ -170,6 +256,8 @@ class Server {
   std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> retried_after_hint_{0};
 };
 
 }  // namespace hygnn::serve

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/clock.h"
 #include "core/flags.h"
 #include "core/rng.h"
 #include "core/status.h"
@@ -276,6 +277,64 @@ TEST(FlagParserTest, RequireKnownNamesTheStranger) {
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
   EXPECT_NE(status.message().find("--resme"), std::string::npos);
+}
+
+TEST(ClockTest, ManualClockMovesOnlyWhenAdvanced) {
+  ManualClock clock(1000);
+  EXPECT_EQ(clock.NowNanos(), 1000u);
+  EXPECT_EQ(clock.NowNanos(), 1000u);  // reads do not advance it
+  clock.AdvanceNanos(5);
+  EXPECT_EQ(clock.NowNanos(), 1005u);
+  clock.AdvanceMicros(2);
+  EXPECT_EQ(clock.NowNanos(), 3005u);
+}
+
+TEST(ClockTest, ManualClockSleepAdvancesInsteadOfBlocking) {
+  ManualClock clock;
+  clock.SleepForMicros(250);
+  EXPECT_EQ(clock.NowNanos(), 250000u);
+  // Non-positive sleeps are no-ops, not underflows.
+  clock.SleepForMicros(0);
+  clock.SleepForMicros(-10);
+  EXPECT_EQ(clock.NowNanos(), 250000u);
+}
+
+TEST(ClockTest, ScopedClockInstallsAndRestoresTheActiveClock) {
+  Clock* original = &ActiveClock();
+  ManualClock manual(42);
+  {
+    ScopedClock scoped(&manual);
+    EXPECT_EQ(&ActiveClock(), &manual);
+    EXPECT_EQ(ActiveClock().NowNanos(), 42u);
+    {
+      ManualClock inner(7);
+      ScopedClock nested(&inner);
+      EXPECT_EQ(&ActiveClock(), &inner);
+    }
+    EXPECT_EQ(&ActiveClock(), &manual);  // nesting unwinds in order
+  }
+  EXPECT_EQ(&ActiveClock(), original);
+}
+
+TEST(ClockTest, MonotonicClockNeverGoesBackwards) {
+  Clock& clock = MonotonicClock();
+  uint64_t last = clock.NowNanos();
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t now = clock.NowNanos();
+    ASSERT_GE(now, last);
+    last = now;
+  }
+  // The default active clock is the monotonic one.
+  EXPECT_EQ(&ActiveClock(), &clock);
+}
+
+TEST(StatusTest, DeadlineExceededCodeIsDistinctAndNamed) {
+  const auto status = Status::DeadlineExceeded("too slow");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(status.ToString(), "DeadlineExceeded: too slow");
+  EXPECT_NE(static_cast<int>(StatusCode::kDeadlineExceeded),
+            static_cast<int>(StatusCode::kResourceExhausted));
 }
 
 TEST(EnvFlagTest, ParsesTruthyFalsyAndFallsBack) {

@@ -244,6 +244,25 @@ class DisciplineRuleTest(unittest.TestCase):
             self.assertEqual([], self.rules_fired(
                 path, "auto t = std::chrono::steady_clock::now();\n"), path)
 
+    def test_rule10_clock_seam_backend_is_sanctioned(self):
+        # The core::Clock seam (src/core/clock.cc) owns the one raw
+        # steady_clock read behind MonotonicClock(); the same line in a
+        # consumer would defeat the seam and must still fire.
+        snippet = ("return std::chrono::duration_cast<std::chrono::"
+                   "nanoseconds>(std::chrono::steady_clock::now()"
+                   ".time_since_epoch()).count();\n")
+        self.assertEqual([], self.rules_fired("src/core/clock.cc", snippet))
+        self.assertEqual([10], self.rules_fired("src/serve/server.cc",
+                                                snippet))
+
+    def test_rule10_quiet_on_clock_seam_consumers(self):
+        # Deadline code reads time through the seam, which mentions no
+        # std::chrono clock at all: rule 10 has nothing to match.
+        self.assertEqual([], self.rules_fired(
+            "src/serve/server.cc",
+            "const uint64_t now_nanos = clock_->NowNanos();\n"
+            "core::ManualClock manual;\n"))
+
     # -- rule 11: raw threads ----------------------------------------
     def test_rule11_fires_on_std_thread_and_detach(self):
         self.assertEqual([11], self.rules_fired(

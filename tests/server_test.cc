@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/clock.h"
 #include "core/status.h"
 #include "data/featurize.h"
 #include "data/generator.h"
@@ -373,6 +374,94 @@ TEST_F(ServerTest, ResourceExhaustedCodeIsDistinctAndNamed) {
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(status.code(), core::StatusCode::kResourceExhausted);
   EXPECT_EQ(status.ToString(), "ResourceExhausted: queue full");
+}
+
+TEST_F(ServerTest, QueuedDeadlineExpiresUnderManualClockWithoutScoring) {
+  core::ManualClock manual;
+  core::ScopedClock scoped(&manual);
+  Server server(model_, store_, ServerOptions{});
+  // Queue before Start so the deadline provably passes while the
+  // request waits — no chaos hook, no wall-clock sleeps.
+  ScoreRequest request = MakeRequests(1)[0];
+  request.timeout_us = 500;
+  auto pending = server.SubmitAsync(request);
+  ASSERT_TRUE(pending.ok()) << pending.status().ToString();
+  manual.AdvanceMicros(501);
+  ASSERT_TRUE(server.Start().ok());
+  auto result = pending.value()->Wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), core::StatusCode::kDeadlineExceeded);
+  server.Shutdown();
+  EXPECT_EQ(server.stats().expired, 1u);
+  EXPECT_EQ(server.stats().batches, 0u);  // expired at batch close, unscored
+}
+
+TEST_F(ServerTest, ZeroTimeoutMeansNoDeadline) {
+  core::ManualClock manual;
+  core::ScopedClock scoped(&manual);
+  Server server(model_, store_, ServerOptions{});
+  ScoreRequest request = MakeRequests(1)[0];
+  request.timeout_us = 0;
+  auto pending = server.SubmitAsync(request);
+  ASSERT_TRUE(pending.ok()) << pending.status().ToString();
+  // An eternity passes while queued; without a deadline the request
+  // still scores.
+  manual.AdvanceMicros(int64_t{1} << 40);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(pending.value()->Wait().ok());
+  server.Shutdown();
+  EXPECT_EQ(server.stats().expired, 0u);
+}
+
+TEST_F(ServerTest, NegativeTimeoutRefusedAtSubmit) {
+  Server server(model_, store_, ServerOptions{});
+  ScoreRequest request = MakeRequests(1)[0];
+  request.timeout_us = -5;
+  auto refused = server.SubmitAsync(request);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), core::StatusCode::kInvalidArgument);
+  EXPECT_NE(refused.status().message().find("timeout_us"),
+            std::string::npos);
+  EXPECT_EQ(server.stats().accepted, 0u);
+}
+
+TEST_F(ServerTest, WaitForBoundsTheWaitAndKeepsTheRequestInFlight) {
+  // Never-started server: the result cannot arrive, so WaitFor must
+  // give up on its own.
+  Server server(model_, store_, ServerOptions{});
+  auto pending = server.SubmitAsync(MakeRequests(1)[0]);
+  ASSERT_TRUE(pending.ok()) << pending.status().ToString();
+  // Non-positive timeout is a poll.
+  auto poll = pending.value()->WaitFor(0);
+  ASSERT_FALSE(poll.ok());
+  EXPECT_EQ(poll.status().code(), core::StatusCode::kDeadlineExceeded);
+  auto timed_out = pending.value()->WaitFor(1000);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(),
+            core::StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(pending.value()->done());  // still in flight, not failed
+  // Once the result exists, WaitFor returns it like Wait.
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(pending.value()->Wait().ok());
+  EXPECT_TRUE(pending.value()->WaitFor(1).ok());
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, HealthTracksQueuePressureAndShutdown) {
+  ServerOptions options;
+  options.queue_capacity = 4;
+  Server server(model_, store_, options);
+  EXPECT_EQ(server.health(), Server::Health::kServing);
+  // Workers not started: queued requests pile up deterministically.
+  const auto requests = MakeRequests(2);
+  for (const auto& request : requests) {
+    ASSERT_TRUE(server.SubmitAsync(request).ok());
+  }
+  // 2 of 4 slots used = half full: degraded.
+  EXPECT_EQ(server.health(), Server::Health::kDegraded);
+  ASSERT_TRUE(server.Start().ok());
+  server.Shutdown();
+  EXPECT_EQ(server.health(), Server::Health::kDraining);
 }
 
 }  // namespace
