@@ -19,14 +19,17 @@
 // modest and the interesting output is the *shape* — saturation at
 // 1x capacity, shedding instead of collapse at overload.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/logging.h"
 #include "core/rng.h"
+#include "core/thread_pool.h"
 #include "data/featurize.h"
 #include "data/generator.h"
 #include "graph/builders.h"
@@ -159,10 +162,13 @@ int RunLoadBench(const LoadBenchConfig& config,
 
   const auto print_report = [](const char* label,
                                const serve::LoadReport& report) {
-    std::printf("  %s: sustained %7.0f req/s  completed %llu  shed %llu  "
+    std::printf("  %s: sustained %7.0f req/s  requests %llu "
+                "(%llu attempts)  completed %llu  shed %llu  "
                 "expired %llu  retried %llu/%llu ok  p50 %.0f us  "
                 "p95 %.0f us  p99 %.0f us\n",
                 label, report.sustained_qps,
+                static_cast<unsigned long long>(report.submitted),
+                static_cast<unsigned long long>(report.attempts),
                 static_cast<unsigned long long>(report.completed),
                 static_cast<unsigned long long>(report.shed),
                 static_cast<unsigned long long>(report.expired),
@@ -208,6 +214,66 @@ int RunLoadBench(const LoadBenchConfig& config,
     }
     print_report(label, deadline_reports.back());
   }
+
+  // Hot-swap scenario: 1x-capacity open-loop load with catalog
+  // mutations published in the middle of the window. A background
+  // thread AddDrugs while submitters keep offering; because AddDrug
+  // only appends rows (existing rows are byte-copied into each new
+  // epoch), every pooled request must afterwards still score
+  // bit-identically to its pre-swap serial scores, and no in-flight
+  // request may have failed.
+  std::vector<std::vector<float>> pre_swap_scores;
+  pre_swap_scores.reserve(pool.size());
+  for (const auto& request : pool) {
+    pre_swap_scores.push_back(serial.ScorePairs(request).value().scores);
+  }
+  const uint64_t generation_before = store.generation();
+  serve::LoadReport swap_report;
+  constexpr int32_t kSwapPublications = 4;
+  {
+    core::WorkerThread mutator([&store, &featurizer, &config] {
+      // Each publication reuses an existing drug's substructure set
+      // (the encoder input vocabulary is fixed), spread across the
+      // load window so batches pin several distinct epochs.
+      const auto& subs = featurizer.drug_substructures();
+      for (int32_t i = 0; i < kSwapPublications; ++i) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            config.seconds_per_level /
+            static_cast<double>(2 * kSwapPublications)));
+        auto added =
+            store.AddDrug(subs[static_cast<size_t>(i) % subs.size()]);
+        HYGNN_CHECK(added.ok()) << added.status().ToString();
+      }
+    });
+    serve::LoadConfig load;
+    load.offered_qps = capacity_qps;
+    load.duration_seconds = config.seconds_per_level;
+    load.submitters = config.submitters;
+    swap_report = serve::RunLoad(&server, pool, load);
+    // mutator joins here (WorkerThread destructor).
+  }
+  const uint64_t generation_after = store.generation();
+  bool swap_bit_identical = true;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const auto post = serial.ScorePairs(pool[i]).value().scores;
+    if (post.size() != pre_swap_scores[i].size() ||
+        std::memcmp(post.data(), pre_swap_scores[i].data(),
+                    post.size() * sizeof(float)) != 0) {
+      std::fprintf(stderr, "request %zu: post-swap scores != pre-swap\n",
+                   i);
+      swap_bit_identical = false;
+    }
+  }
+  char swap_label[64];
+  std::snprintf(swap_label, sizeof(swap_label),
+                "swap x%d gen %llu->%llu (1.0x)", kSwapPublications,
+                static_cast<unsigned long long>(generation_before),
+                static_cast<unsigned long long>(generation_after));
+  print_report(swap_label, swap_report);
+  std::printf("  swap: bit_identical_after_swap %s  failed %llu\n",
+              swap_bit_identical ? "true" : "false",
+              static_cast<unsigned long long>(swap_report.failed));
+
   server.Shutdown();
   const auto stats = server.stats();
   std::printf("  pipeline totals: accepted %llu  completed %llu  "
@@ -243,7 +309,8 @@ int RunLoadBench(const LoadBenchConfig& config,
     std::fprintf(file,
                  "    {\"offered_qps\": %.1f, \"duration_s\": %.2f, "
                  "\"timeout_us\": %lld, "
-                 "\"submitted\": %llu, \"completed\": %llu, "
+                 "\"submitted\": %llu, \"attempts\": %llu, "
+                 "\"completed\": %llu, "
                  "\"shed\": %llu, \"failed\": %llu, "
                  "\"expired\": %llu, \"retried\": %llu, "
                  "\"retried_ok\": %llu, "
@@ -252,6 +319,7 @@ int RunLoadBench(const LoadBenchConfig& config,
                  report.offered_qps, report.duration_seconds,
                  static_cast<long long>(timeout_us),
                  static_cast<unsigned long long>(report.submitted),
+                 static_cast<unsigned long long>(report.attempts),
                  static_cast<unsigned long long>(report.completed),
                  static_cast<unsigned long long>(report.shed),
                  static_cast<unsigned long long>(report.failed),
@@ -269,7 +337,19 @@ int RunLoadBench(const LoadBenchConfig& config,
     write_report(deadline_reports[i], deadline_sweep_us[i],
                  i + 1 == deadline_reports.size());
   }
-  std::fprintf(file, "  ]\n}\n");
+  std::fprintf(file,
+               "  ],\n  \"swap\": {\n"
+               "    \"publications\": %d,\n"
+               "    \"generation_before\": %llu,\n"
+               "    \"generation_after\": %llu,\n"
+               "    \"bit_identical_after_swap\": %s,\n"
+               "    \"report\":\n",
+               kSwapPublications,
+               static_cast<unsigned long long>(generation_before),
+               static_cast<unsigned long long>(generation_after),
+               swap_bit_identical ? "true" : "false");
+  write_report(swap_report, 0, /*last=*/true);
+  std::fprintf(file, "  }\n}\n");
   std::fclose(file);
   std::printf("wrote %s\n", json_path.c_str());
 
@@ -284,6 +364,17 @@ int RunLoadBench(const LoadBenchConfig& config,
   if (!bit_identical) {
     std::fprintf(stderr,
                  "FAIL: served scores are not bit-identical to serial\n");
+    return 1;
+  }
+  if (!swap_bit_identical) {
+    std::fprintf(stderr,
+                 "FAIL: catalog swap moved pre-existing scores\n");
+    return 1;
+  }
+  if (swap_report.failed != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu in-flight requests failed during swap\n",
+                 static_cast<unsigned long long>(swap_report.failed));
     return 1;
   }
   return 0;

@@ -431,9 +431,10 @@ int CmdServeLoad(const core::FlagParser& flags) {
               options.max_batch,
               static_cast<long long>(options.max_wait_us),
               options.queue_capacity);
-  std::printf("  submitted %llu  completed %llu  shed %llu  failed %llu  "
-              "expired %llu\n",
+  std::printf("  requests %llu (%llu attempts)  completed %llu  shed %llu  "
+              "failed %llu  expired %llu\n",
               static_cast<unsigned long long>(report.submitted),
+              static_cast<unsigned long long>(report.attempts),
               static_cast<unsigned long long>(report.completed),
               static_cast<unsigned long long>(report.shed),
               static_cast<unsigned long long>(report.failed),

@@ -62,12 +62,13 @@ if [[ "${PRESET}" != "tsan" ]]; then
   configure_if_needed tsan
   cmake --build --preset tsan -j "${JOBS}" \
     --target thread_pool_test kernels_test serve_test server_test \
-    server_chaos_test obs_test tape_test
+    server_chaos_test server_swap_test obs_test tape_test
   HYGNN_NUM_THREADS=4 build-tsan/tests/thread_pool_test
   HYGNN_NUM_THREADS=4 build-tsan/tests/kernels_test
   HYGNN_NUM_THREADS=4 build-tsan/tests/serve_test
   HYGNN_NUM_THREADS=4 build-tsan/tests/server_test
   HYGNN_NUM_THREADS=4 build-tsan/tests/server_chaos_test
+  HYGNN_NUM_THREADS=4 build-tsan/tests/server_swap_test
   HYGNN_NUM_THREADS=4 build-tsan/tests/obs_test
   HYGNN_NUM_THREADS=4 build-tsan/tests/tape_test
 fi

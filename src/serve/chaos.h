@@ -18,7 +18,11 @@ namespace hygnn::serve {
 ///     releases it — a wedged scorer / GC pause / slow downstream.
 ///     While the worker is parked the test can advance a ManualClock
 ///     past request deadlines, which is what makes deadline-expiry
-///     tests deterministic on one CPU with zero wall-clock sleeps;
+///     tests deterministic on one CPU with zero wall-clock sleeps.
+///     The worker pins its catalog epoch *before* this hook runs, so a
+///     test can publish a swap (AddDrug/Rebuild/Invalidate) while the
+///     worker is parked and observe the batch score against its
+///     pre-stall snapshot;
 ///   * fail: make the Nth batch fail with an injected typed status
 ///     (Internal crash, FailedPrecondition store-went-stale, ...) —
 ///     every request in that batch must still complete with that

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "core/logging.h"
 #include "obs/metrics.h"
@@ -24,9 +25,53 @@ float LeakyRelu(float v, float slope) {
 
 }  // namespace
 
+std::atomic<int64_t> StoreSnapshot::live_count_{0};
+
+const float* StoreSnapshot::Row(int32_t drug) const {
+  HYGNN_CHECK(drug >= 0 && drug < num_drugs_);
+  return embeddings_.data() + static_cast<int64_t>(drug) * dim_;
+}
+
 EmbeddingStore::EmbeddingStore(const model::HyGnnModel* model)
     : model_(model) {
   HYGNN_CHECK(model != nullptr);
+}
+
+void EmbeddingStore::Publish(
+    std::shared_ptr<const StoreSnapshot> snapshot) {
+  // One pointer assignment under the handle lock is the whole swap: a
+  // reader that copies the new pointer sees the fully built buffer;
+  // readers still holding the old pointer keep its bytes until their
+  // shared_ptr drops (the grace period). The generation bump is
+  // published before the pointer so a reader pairing Snapshot() with
+  // generation() never sees a snapshot newer than the counter.
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  core::MutexLock handle_lock(snapshot_mutex_);
+  snapshot_ = std::move(snapshot);
+}
+
+void EmbeddingStore::Invalidate() {
+  core::MutexLock lock(mutex_);
+  Publish(nullptr);
+}
+
+int32_t EmbeddingStore::num_drugs() const {
+  const auto snapshot = Snapshot();
+  return snapshot == nullptr ? 0 : snapshot->num_drugs();
+}
+
+int64_t EmbeddingStore::dim() const {
+  const auto snapshot = Snapshot();
+  return snapshot == nullptr ? 0 : snapshot->dim();
+}
+
+const float* EmbeddingStore::Row(int32_t drug) const {
+  const auto snapshot = Snapshot();
+  HYGNN_CHECK(snapshot != nullptr)
+      << "embedding store is stale; Rebuild first";
+  // The raw pointer outlives `snapshot` here but stays valid while the
+  // store itself keeps this epoch current (see the header contract).
+  return snapshot->Row(drug);
 }
 
 Status EmbeddingStore::Rebuild(const model::HypergraphContext& context) {
@@ -43,11 +88,10 @@ Status EmbeddingStore::Rebuild(const model::HypergraphContext& context) {
   tensor::InferenceModeScope inference;
   const tensor::Tensor embeddings =
       model_->EmbedDrugs(context, /*training=*/false, nullptr);
-  num_drugs_ = context.num_edges;
+  const int32_t num_drugs = context.num_edges;
   num_nodes_ = context.num_nodes;
-  dim_ = embeddings.cols();
-  embeddings_.assign(embeddings.data(),
-                     embeddings.data() + embeddings.size());
+  std::vector<float> rows(embeddings.data(),
+                          embeddings.data() + embeddings.size());
 
   // Snapshot the single-layer intermediates AddDrug mirrors. Deeper
   // stacks skip this (AddDrug rejects them).
@@ -65,7 +109,7 @@ Status EmbeddingStore::Rebuild(const model::HypergraphContext& context) {
           layer.g1());
       edge_scores_.assign(scores.data(), scores.data() + scores.size());
     } else {
-      edge_scores_.assign(static_cast<size_t>(num_drugs_), 0.0f);
+      edge_scores_.assign(static_cast<size_t>(num_drugs), 0.0f);
     }
     // COO pairs are sorted by (edge, node), so a single ascending scan
     // leaves every node's incident-edge list in ascending edge order —
@@ -75,8 +119,9 @@ Status EmbeddingStore::Rebuild(const model::HypergraphContext& context) {
           context.pair_edges[r]);
     }
   }
-  valid_ = true;
-  ++generation_;
+  Publish(std::shared_ptr<const StoreSnapshot>(new StoreSnapshot(
+      generation_.load(std::memory_order_relaxed) + 1, num_drugs,
+      embeddings.cols(), std::move(rows))));
   names_.clear();
   if (obs::MetricsEnabled()) {
     obs::MetricsRegistry::Global()
@@ -95,7 +140,8 @@ Result<int32_t> EmbeddingStore::AddDrug(
 Result<int32_t> EmbeddingStore::AddDrugLocked(
     const std::vector<int32_t>& substructures) {
   namespace kernels = tensor::kernels;
-  if (!valid_) {
+  const auto current = Snapshot();
+  if (current == nullptr) {
     return Status::FailedPrecondition(
         "embedding store is stale; Rebuild before AddDrug");
   }
@@ -131,7 +177,7 @@ Result<int32_t> EmbeddingStore::AddDrugLocked(
   const int64_t hidden = config.hidden_dim;
   const int64_t out_dim = config.output_dim;
   const float slope = config.leaky_slope;
-  const int32_t new_edge = num_drugs_;
+  const int32_t new_edge = current->num_drugs();
   const int64_t n_members = static_cast<int64_t>(members.size());
 
   // 1. Projected features of the new hyperedge: the exact CSR row
@@ -231,6 +277,7 @@ Result<int32_t> EmbeddingStore::AddDrugLocked(
                               0.0f);
   kernels::RowScaleAccumulate(x.data(), p_proj_members.data(),
                               weighted.data(), n_members, out_dim);
+  const int64_t dim = current->dim();
   std::vector<float> q_out(static_cast<size_t>(out_dim), 0.0f);
   kernels::SegmentSumAccumulate(weighted.data(), seg.data(), n_members,
                                 out_dim, q_out.data(), 1);
@@ -239,19 +286,35 @@ Result<int32_t> EmbeddingStore::AddDrugLocked(
         LeakyRelu(q_out[static_cast<size_t>(o)], slope);
   }
 
-  // 5. Commit: grow the caches and the incidence index.
-  embeddings_.insert(embeddings_.end(), q_out.begin(), q_out.end());
+  // 5. Commit: build the next epoch off to the side (existing rows are
+  //    byte-copied, so old-id scores stay memcmp-identical across the
+  //    swap), publish it with one pointer store, and grow the
+  //    mutator-side incidence index. Readers pinned to `current` are
+  //    untouched; `current` itself is reclaimed when the last of them
+  //    drains.
+  const float* old_rows = current->num_drugs() > 0 ? current->Row(0) : nullptr;
+  std::vector<float> rows;
+  rows.reserve(static_cast<size_t>((new_edge + 1) * dim));
+  if (old_rows != nullptr) {
+    rows.assign(old_rows, old_rows + static_cast<int64_t>(new_edge) * dim);
+  }
+  rows.insert(rows.end(), q_out.begin(), q_out.end());
+  Publish(std::shared_ptr<const StoreSnapshot>(new StoreSnapshot(
+      generation_.load(std::memory_order_relaxed) + 1, new_edge + 1, dim,
+      std::move(rows))));
   q_proj_.insert(q_proj_.end(), q_new.begin(), q_new.end());
   edge_scores_.push_back(score_new);
   for (int32_t node : members) {
     incident_[static_cast<size_t>(node)].push_back(new_edge);
   }
-  ++num_drugs_;
   if (obs::MetricsEnabled()) {
     // An AddDrug is a cache miss: the row was not in the store and had
     // to be derived incrementally (Row reads afterwards are hits).
     obs::MetricsRegistry::Global()
         .GetCounter("serve.embedding_cache.misses")
+        ->Add();
+    obs::MetricsRegistry::Global()
+        .GetCounter("serve.embedding_cache.swaps")
         ->Add();
   }
   return new_edge;
@@ -260,6 +323,7 @@ Result<int32_t> EmbeddingStore::AddDrugLocked(
 Result<int32_t> EmbeddingStore::AddDrugSmiles(
     const data::SubstructureFeaturizer& featurizer,
     const std::string& smiles) {
+  core::MutexLock lock(mutex_);
   if (featurizer.num_substructures() != num_nodes_) {
     return Status::InvalidArgument(
         "featurizer/model mismatch: featurizer vocabulary has " +
@@ -269,7 +333,7 @@ Result<int32_t> EmbeddingStore::AddDrugSmiles(
   }
   auto ids = featurizer.SegmentNewSmiles(smiles);
   if (!ids.ok()) return ids.status();
-  return AddDrug(ids.value());
+  return AddDrugLocked(ids.value());
 }
 
 Result<int32_t> EmbeddingStore::AddDrugNamed(
@@ -299,12 +363,6 @@ Result<int32_t> EmbeddingStore::FindDrug(
                             "\"");
   }
   return it->second;
-}
-
-const float* EmbeddingStore::Row(int32_t drug) const {
-  HYGNN_CHECK(valid_) << "embedding store is stale; Rebuild first";
-  HYGNN_CHECK(drug >= 0 && drug < num_drugs_);
-  return embeddings_.data() + static_cast<int64_t>(drug) * dim_;
 }
 
 }  // namespace hygnn::serve

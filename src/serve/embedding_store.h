@@ -1,7 +1,9 @@
 #ifndef HYGNN_SERVE_EMBEDDING_STORE_H_
 #define HYGNN_SERVE_EMBEDDING_STORE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -14,6 +16,59 @@
 #include "hygnn/model.h"
 
 namespace hygnn::serve {
+
+/// One immutable epoch of the serving catalog: a frozen view of the
+/// drug-embedding cache at a single generation. Snapshots are built off
+/// to the side by EmbeddingStore mutators and published with one atomic
+/// pointer swap; after publication a snapshot never changes, so readers
+/// holding one need no synchronization of any kind. Reclamation is
+/// grace-period-based via shared_ptr ownership: the previous epoch's
+/// buffer is freed when the last reader pinning it drops its reference
+/// (for serve::Server, when the last batch scored against it drains).
+class StoreSnapshot {
+ public:
+  ~StoreSnapshot() { live_count_.fetch_sub(1, std::memory_order_relaxed); }
+
+  StoreSnapshot(const StoreSnapshot&) = delete;
+  StoreSnapshot& operator=(const StoreSnapshot&) = delete;
+
+  /// The epoch tag: the store generation this snapshot was published
+  /// at. Strictly increasing across publications of one store.
+  uint64_t generation() const { return generation_; }
+
+  int32_t num_drugs() const { return num_drugs_; }
+  int64_t dim() const { return dim_; }
+
+  /// Embedding row of `drug`; stable for the snapshot's lifetime.
+  const float* Row(int32_t drug) const;
+
+  /// Snapshots currently alive process-wide (every generation still
+  /// pinned by some reader, plus each store's current epoch). Tests use
+  /// deltas of this to assert grace-period reclamation; a relaxed
+  /// counter bumped once per catalog mutation costs nothing in serving.
+  static int64_t LiveCount() {
+    return live_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class EmbeddingStore;
+  StoreSnapshot(uint64_t generation, int32_t num_drugs, int64_t dim,
+                std::vector<float> embeddings)
+      : generation_(generation),
+        num_drugs_(num_drugs),
+        dim_(dim),
+        embeddings_(std::move(embeddings)) {
+    live_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  static std::atomic<int64_t> live_count_;
+
+  const uint64_t generation_;
+  const int32_t num_drugs_;
+  const int64_t dim_;
+  /// [num_drugs, dim] row-major drug embeddings.
+  const std::vector<float> embeddings_;
+};
 
 /// Cache of drug (hyperedge) embeddings for serving. The paper's
 /// architecture encodes each drug once and decodes per pair; this store
@@ -31,19 +86,25 @@ namespace hygnn::serve {
 /// entry must not silently shift existing scores); call Rebuild to fold
 /// new drugs into every row.
 ///
-/// The buffer grows by copy-on-grow, so pointers returned by Row() are
-/// invalidated by AddDrug and Rebuild. Each Rebuild bumps generation();
-/// Invalidate marks the cache stale (call it after reloading model
-/// weights) and every read path refuses to serve until the next
-/// Rebuild.
+/// Epoch-based hot swap (RCU-style): the cache lives in an immutable
+/// StoreSnapshot behind a shared_ptr handle guarded by a dedicated
+/// handle mutex. Snapshot() is the read side — one pointer copy under
+/// a lock held for a few instructions, never across snapshot
+/// construction or scoring — and it pins one epoch for as long as the
+/// caller holds the pointer. Mutators (Rebuild, AddDrug*, Invalidate)
+/// serialize on an internal mutex, build the next epoch's buffer off
+/// to the side, and publish it with a single pointer swap — readers
+/// never wait on a build, never observe a half-written buffer, and a
+/// reader that pinned epoch N keeps scoring against N's bytes while
+/// N+1 serves new arrivals. The superseded snapshot is reclaimed when
+/// its last reader drains (shared_ptr refcount as the grace period).
+/// AddDrug pays one O(num_drugs * dim) buffer copy per publication —
+/// the classic RCU copy cost, bought back by a mutation-free read path.
 ///
-/// Thread-safety: every *mutating* entry point (Rebuild, AddDrug*,
-/// Invalidate) serializes on an internal annotated mutex, so concurrent
-/// catalog growth is safe; the external-id registry is fully
-/// mutex-guarded (FindDrug locks too). Read paths over the embedding
-/// buffer (Row, num_drugs, valid) stay lock-free for scorer workers and
-/// must not race a mutator — consumers detect change via generation()
-/// and the future serve::Server quiesces scoring around mutations.
+/// Invalidate publishes a null snapshot (the stale state: every read
+/// path refuses with FailedPrecondition until the next Rebuild); each
+/// publication bumps generation(), so consumers holding derived state
+/// detect that the catalog moved underneath them.
 class EmbeddingStore {
  public:
   /// `model` must outlive the store. The store starts invalid; call
@@ -59,7 +120,8 @@ class EmbeddingStore {
   /// Appends one drug given its substructure node ids (duplicates and
   /// ordering don't matter; ids must be within the encoder input
   /// vocabulary). Returns the new drug's id. Requires a valid store
-  /// backed by a single-layer encoder.
+  /// backed by a single-layer encoder. Publishes a new snapshot; the
+  /// previous epoch keeps serving pinned readers until they drain.
   core::Result<int32_t> AddDrug(const std::vector<int32_t>& substructures)
       HYGNN_EXCLUDES(mutex_);
 
@@ -83,24 +145,45 @@ class EmbeddingStore {
   core::Result<int32_t> FindDrug(const std::string& external_id) const
       HYGNN_EXCLUDES(mutex_);
 
-  /// Marks the cache stale without touching its contents. Read paths
-  /// fail until the next Rebuild.
-  void Invalidate() HYGNN_EXCLUDES(mutex_) {
-    core::MutexLock lock(mutex_);
-    valid_ = false;
+  /// Marks the cache stale by publishing a null snapshot (call it after
+  /// reloading model weights). Read paths fail until the next Rebuild;
+  /// readers still pinning an older epoch keep their (now outdated)
+  /// bytes until they drain.
+  void Invalidate() HYGNN_EXCLUDES(mutex_);
+
+  /// The read side: pins the current epoch. One pointer copy under
+  /// the handle mutex (held for a few instructions — never across a
+  /// rebuild); the returned snapshot — and every Row pointer inside
+  /// it — stays valid for as long as the caller holds the pointer,
+  /// across any number of concurrent AddDrug/Rebuild publications.
+  /// Null when the store is stale (never rebuilt, or Invalidate'd).
+  std::shared_ptr<const StoreSnapshot> Snapshot() const
+      HYGNN_EXCLUDES(snapshot_mutex_) {
+    core::MutexLock lock(snapshot_mutex_);
+    return snapshot_;
   }
 
-  bool valid() const { return valid_; }
+  /// True when a current epoch exists (Snapshot() non-null).
+  bool valid() const { return Snapshot() != nullptr; }
 
-  /// Incremented on every successful Rebuild. Lets consumers holding
-  /// derived state (top-K lists, score caches) detect that embeddings
-  /// changed underneath them.
-  uint64_t generation() const { return generation_; }
+  /// Incremented on every publication (Rebuild, AddDrug, Invalidate).
+  /// Lets consumers holding derived state (top-K lists, score caches,
+  /// pinned snapshots) detect that the catalog changed underneath them;
+  /// equals Snapshot()->generation() for the current epoch.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
-  int32_t num_drugs() const { return num_drugs_; }
-  int64_t dim() const { return dim_; }
+  /// Catalog size of the *current* epoch (0 when stale). A mutator may
+  /// publish between this call and the next; pin Snapshot() instead
+  /// when several reads must agree.
+  int32_t num_drugs() const;
+  int64_t dim() const;
 
-  /// Embedding row of `drug`; valid until the next AddDrug/Rebuild.
+  /// Embedding row of `drug` in the *current* epoch. The pointer is
+  /// valid until the next AddDrug/Rebuild publication retires this
+  /// epoch; readers that outlive mutations must pin Snapshot() and use
+  /// its Row instead.
   const float* Row(int32_t drug) const;
 
  private:
@@ -109,19 +192,35 @@ class EmbeddingStore {
   core::Result<int32_t> AddDrugLocked(
       const std::vector<int32_t>& substructures) HYGNN_REQUIRES(mutex_);
 
+  /// Publishes `snapshot` (may be null = stale) as the current epoch
+  /// and bumps generation(). The single pointer swap every mutator
+  /// funnels through.
+  void Publish(std::shared_ptr<const StoreSnapshot> snapshot)
+      HYGNN_REQUIRES(mutex_);
+
   const model::HyGnnModel* model_;
-  /// Serializes every mutating entry point. The embedding buffers below
-  /// are written only under this lock but read lock-free (see the class
-  /// comment); only names_ is fully guarded on both sides, so only it
-  /// carries the GUARDED_BY annotation.
+  /// Serializes every mutating entry point; the read side never takes
+  /// it (Snapshot() takes only snapshot_mutex_). The AddDrug
+  /// intermediates below are build-side state written and read only
+  /// under this lock; names_ is fully mutex-guarded and carries the
+  /// annotation.
   mutable core::Mutex mutex_;
-  bool valid_ = false;
-  uint64_t generation_ = 0;
-  int32_t num_drugs_ = 0;
+  /// Guards only the handle word below. Held for one pointer copy on
+  /// the read side and one pointer assignment in Publish — never while
+  /// an epoch is built or scored against. A dedicated mutex (not
+  /// std::atomic<shared_ptr>) because libstdc++-12's _Sp_atomic
+  /// releases its internal lock bit with a relaxed fetch_sub, which
+  /// tsan's happens-before model cannot see — every concurrent
+  /// load/store pair reports a false data race.
+  mutable core::Mutex snapshot_mutex_ HYGNN_ACQUIRED_AFTER(mutex_);
+  /// The current epoch. Replaced only by Publish (mutators hold mutex_
+  /// and then take snapshot_mutex_ for the swap). Null = stale.
+  std::shared_ptr<const StoreSnapshot> snapshot_
+      HYGNN_GUARDED_BY(snapshot_mutex_);
+  /// Monotonic publication counter (see generation()). Written only
+  /// under mutex_, read lock-free.
+  std::atomic<uint64_t> generation_{0};
   int32_t num_nodes_ = 0;
-  int64_t dim_ = 0;
-  /// [num_drugs, dim] row-major drug embeddings.
-  std::vector<float> embeddings_;
   /// Single-layer encoder intermediates for incremental AddDrug:
   /// projected edge features W_q F [num_drugs, hidden], the hyperedge
   /// attention score g1 . LeakyReLU(W_q q_j) per drug, and each node's

@@ -27,6 +27,7 @@ struct Outstanding {
 /// hot loop shares nothing with its siblings).
 struct SubmitterTally {
   uint64_t submitted = 0;
+  uint64_t attempts = 0;
   uint64_t completed = 0;
   uint64_t shed = 0;
   uint64_t failed = 0;
@@ -124,10 +125,15 @@ LoadReport RunLoad(Server* server, std::span<const ScoreRequest> requests,
               requests.size();
           ScoreRequest request = requests[index];
           if (config.timeout_us > 0) request.timeout_us = config.timeout_us;
+          // One unique request per schedule slot, however many times
+          // the retry loop resubmits it — counting attempts as
+          // `submitted` used to overstate offered load whenever retry
+          // was on.
+          ++tally.submitted;
           // Latency is measured from the first attempt, so backoff
           // sleeps charge against the request like any other queueing.
           for (int32_t attempt = 1;; ++attempt) {
-            ++tally.submitted;
+            ++tally.attempts;
             auto pending = server->SubmitAsync(request);
             if (pending.ok()) {
               outstanding.push_back({std::move(pending).value(), now});
@@ -168,6 +174,7 @@ LoadReport RunLoad(Server* server, std::span<const ScoreRequest> requests,
   std::vector<double> latencies;
   for (const auto& tally : tallies) {
     report.submitted += tally.submitted;
+    report.attempts += tally.attempts;
     report.completed += tally.completed;
     report.shed += tally.shed;
     report.failed += tally.failed;

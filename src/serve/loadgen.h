@@ -47,8 +47,13 @@ struct LoadConfig {
 struct LoadReport {
   double offered_qps = 0.0;
   double duration_seconds = 0.0;
-  /// Submission attempts, retries included.
+  /// Unique requests the generator tried to submit. A request retried
+  /// after shedding still counts once here; see `attempts` for the
+  /// wire-level count.
   uint64_t submitted = 0;
+  /// SubmitAsync calls issued, retries included. Always equal to
+  /// submitted + retried; without retry enabled, equal to submitted.
+  uint64_t attempts = 0;
   /// Requests that delivered an Ok response.
   uint64_t completed = 0;
   /// Requests refused at admission with ResourceExhausted.
@@ -60,7 +65,7 @@ struct LoadReport {
   /// expired them at batch close or withheld a stale score.
   uint64_t expired = 0;
   /// Backed-off resubmissions performed (0 unless config.retry). Each
-  /// retry also counts in `submitted`.
+  /// retry also counts in `attempts` but not in `submitted`.
   uint64_t retried = 0;
   /// Requests that were shed at least once but eventually accepted
   /// thanks to a retry.

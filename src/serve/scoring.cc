@@ -38,15 +38,17 @@ const ScoreMetrics& GetScoreMetrics() {
   return metrics;
 }
 
-/// Validates every pair id against the catalog. Shared by ScorePairs
-/// and Screen so both report the same typed errors.
-core::Status ValidateAgainstStore(const EmbeddingStore& store,
-                                  std::span<const data::LabeledPair> pairs) {
-  if (!store.valid()) {
+/// Validates every pair id against one pinned catalog epoch. Shared by
+/// ScorePairs and Screen so both report the same typed errors; a null
+/// snapshot is the stale store.
+core::Status ValidateAgainstSnapshot(
+    const std::shared_ptr<const StoreSnapshot>& snapshot,
+    std::span<const data::LabeledPair> pairs) {
+  if (snapshot == nullptr) {
     return core::Status::FailedPrecondition(
         "embedding store is stale; Rebuild before scoring");
   }
-  const int32_t num_drugs = store.num_drugs();
+  const int32_t num_drugs = snapshot->num_drugs();
   for (size_t i = 0; i < pairs.size(); ++i) {
     const auto& pair = pairs[i];
     if (pair.a < 0 || pair.a >= num_drugs || pair.b < 0 ||
@@ -71,10 +73,16 @@ PairScorer::PairScorer(const model::HyGnnModel* model,
 
 core::Result<ScoreResponse> PairScorer::ScorePairs(
     const ScoreRequest& request) const {
-  if (auto s = ValidateAgainstStore(*store_, request.pairs); !s.ok()) {
+  return ScorePairs(request, store_->Snapshot());
+}
+
+core::Result<ScoreResponse> PairScorer::ScorePairs(
+    const ScoreRequest& request,
+    const std::shared_ptr<const StoreSnapshot>& snapshot) const {
+  if (auto s = ValidateAgainstSnapshot(snapshot, request.pairs); !s.ok()) {
     return s;
   }
-  return ScoreResponse{ScoreValidated(request.pairs)};
+  return ScoreResponse{ScoreValidated(request.pairs, *snapshot)};
 }
 
 std::vector<float> PairScorer::Score(
@@ -82,17 +90,19 @@ std::vector<float> PairScorer::Score(
   // Deprecated shim: same validation as ScorePairs, but the historical
   // crash-on-bad-input contract (callers predating typed errors never
   // checked a status).
-  auto s = ValidateAgainstStore(*store_, pairs);
+  const auto snapshot = store_->Snapshot();
+  auto s = ValidateAgainstSnapshot(snapshot, pairs);
   HYGNN_CHECK(s.ok()) << s.ToString();
-  return ScoreValidated(pairs);
+  return ScoreValidated(pairs, *snapshot);
 }
 
 std::vector<float> PairScorer::ScoreValidated(
-    std::span<const data::LabeledPair> pairs) const {
+    std::span<const data::LabeledPair> pairs,
+    const StoreSnapshot& snapshot) const {
   const int64_t n = static_cast<int64_t>(pairs.size());
   std::vector<float> scores(static_cast<size_t>(n));
   if (n == 0) return scores;
-  const int64_t dim = store_->dim();
+  const int64_t dim = snapshot.dim();
   const bool record = obs::MetricsEnabled();
   const ScoreMetrics* metrics = record ? &GetScoreMetrics() : nullptr;
   obs::Timer score_timer;
@@ -116,9 +126,9 @@ std::vector<float> PairScorer::ScoreValidated(
       obs::ScopedTimer gather_span(record ? metrics->gather_us : nullptr);
       for (int64_t i = 0; i < m; ++i) {
         const auto& pair = pairs[static_cast<size_t>(lo + i)];
-        std::memcpy(q_a.data() + i * dim, store_->Row(pair.a),
+        std::memcpy(q_a.data() + i * dim, snapshot.Row(pair.a),
                     static_cast<size_t>(dim) * sizeof(float));
-        std::memcpy(q_b.data() + i * dim, store_->Row(pair.b),
+        std::memcpy(q_b.data() + i * dim, snapshot.Row(pair.b),
                     static_cast<size_t>(dim) * sizeof(float));
       }
     }
@@ -146,15 +156,19 @@ ScreeningEngine::ScreeningEngine(const model::HyGnnModel* model,
 
 core::Result<ScreenResponse> ScreeningEngine::Screen(
     const ScreenRequest& request) const {
-  if (!store_->valid()) {
+  // One pinned epoch for the whole screen: the candidate list, every
+  // row read, and the shortlist all agree even if the catalog is
+  // growing concurrently.
+  const auto snapshot = store_->Snapshot();
+  if (snapshot == nullptr) {
     return core::Status::FailedPrecondition(
         "embedding store is stale; Rebuild before screening");
   }
-  if (request.query < 0 || request.query >= store_->num_drugs()) {
+  const int32_t num_drugs = snapshot->num_drugs();
+  if (request.query < 0 || request.query >= num_drugs) {
     return core::Status::InvalidArgument(
         "query drug " + std::to_string(request.query) +
-        " outside catalog of " + std::to_string(store_->num_drugs()) +
-        " drugs");
+        " outside catalog of " + std::to_string(num_drugs) + " drugs");
   }
   if (request.top_k < 0) {
     return core::Status::InvalidArgument(
@@ -173,8 +187,8 @@ core::Result<ScreenResponse> ScreeningEngine::Screen(
   ScoreRequest score_request;
   {
     obs::ScopedTimer build_span(build_us);
-    score_request.pairs.reserve(static_cast<size_t>(store_->num_drugs()));
-    for (int32_t drug = 0; drug < store_->num_drugs(); ++drug) {
+    score_request.pairs.reserve(static_cast<size_t>(num_drugs));
+    for (int32_t drug = 0; drug < num_drugs; ++drug) {
       if (drug == request.query) continue;
       score_request.pairs.push_back({request.query, drug, 0.0f});
     }
@@ -182,7 +196,7 @@ core::Result<ScreenResponse> ScreeningEngine::Screen(
   std::vector<float> scores;
   {
     obs::ScopedTimer score_span(score_us);
-    auto scores_or = scorer_.ScorePairs(score_request);
+    auto scores_or = scorer_.ScorePairs(score_request, snapshot);
     if (!scores_or.ok()) return scores_or.status();
     scores = std::move(scores_or).value().scores;
   }

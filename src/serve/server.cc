@@ -17,7 +17,8 @@ struct ServerMetrics {
   obs::Histogram* queue_wait_us;
   obs::Histogram* batch_pairs;
   obs::Histogram* batch_score_us;
-  /// Numeric Server::Health (0 serving / 1 degraded / 2 draining).
+  /// Numeric Server::Health (0 serving / 1 degraded / 2 draining /
+  /// 3 swapping).
   obs::Gauge* health;
 };
 
@@ -131,7 +132,7 @@ void Server::Shutdown() {
   for (const auto& pending : orphans) {
     pending->Complete(core::Status::FailedPrecondition(
         "server shut down before Start; request was never scored"));
-    completed_.fetch_add(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_release);
   }
 }
 
@@ -144,11 +145,15 @@ core::Result<std::shared_ptr<Server::Pending>> Server::SubmitAsync(
         "timeout_us must be >= 0 (0 = no deadline), got " +
         std::to_string(request.timeout_us));
   }
-  if (!store_->valid()) {
+  // Validate against the *current* epoch. Pinning a snapshot makes the
+  // num_drugs read and any concurrent swap well-ordered; the request's
+  // batch pins its own (possibly newer) epoch at batch open.
+  const auto snapshot = store_->Snapshot();
+  if (snapshot == nullptr) {
     return core::Status::FailedPrecondition(
         "embedding store is stale; Rebuild before scoring");
   }
-  const int32_t num_drugs = store_->num_drugs();
+  const int32_t num_drugs = snapshot->num_drugs();
   for (size_t i = 0; i < request.pairs.size(); ++i) {
     const auto& pair = request.pairs[i];
     if (pair.a < 0 || pair.a >= num_drugs || pair.b < 0 ||
@@ -211,10 +216,14 @@ core::Result<std::shared_ptr<Server::Pending>> Server::SubmitAsync(
       return core::Status::ResourceExhausted(std::move(message));
     }
     queue_.push_back(pending);
+    // Counted before the lock releases: a worker can only pop the
+    // request after this critical section, so a concurrent stats()
+    // sample can never observe its completion without its admission
+    // (completed > accepted is impossible, not just unlikely).
+    accepted_.fetch_add(1, std::memory_order_relaxed);
     PublishHealthLocked();
     queue_nonempty_.NotifyOne();
   }
-  accepted_.fetch_add(1, std::memory_order_relaxed);
   return pending;
 }
 
@@ -226,9 +235,16 @@ core::Result<ScoreResponse> Server::Score(ScoreRequest request) {
 
 Server::Stats Server::stats() const {
   Stats stats;
+  // completed_ is sampled BEFORE accepted_ (and incremented with
+  // release ordering, the acquire below pairing with it): every
+  // completion's admission was counted before the completion, so this
+  // read order makes completed <= accepted hold in every concurrent
+  // sample, not just at quiescence. Reading accepted_ first would let
+  // requests admitted-and-completed between the two loads surface as
+  // completed > accepted.
+  stats.completed = completed_.load(std::memory_order_acquire);
   stats.accepted = accepted_.load(std::memory_order_relaxed);
   stats.shed = shed_.load(std::memory_order_relaxed);
-  stats.completed = completed_.load(std::memory_order_relaxed);
   stats.batches = batches_.load(std::memory_order_relaxed);
   stats.expired = expired_.load(std::memory_order_relaxed);
   stats.retried_after_hint =
@@ -245,6 +261,14 @@ Server::Health Server::HealthLocked() const {
   if (shutdown_) return Health::kDraining;
   if (queue_.size() * 2 >= static_cast<size_t>(options_.queue_capacity)) {
     return Health::kDegraded;
+  }
+  // The brief swap transition: some in-flight batch is pinned to an
+  // epoch the store has since superseded. Ends when that batch drains
+  // (its FinishBatch releases the pin). Reported below kDegraded so a
+  // swap never hides queue pressure.
+  if (!pinned_generations_.empty() &&
+      *pinned_generations_.begin() < store_->generation()) {
+    return Health::kSwapping;
   }
   return Health::kServing;
 }
@@ -271,7 +295,7 @@ void Server::CompleteExpiredRequest(
       "deadline of " + std::to_string(pending->request_.timeout_us) +
       " us passed before the request was scored"));
   expired_.fetch_add(1, std::memory_order_relaxed);
-  completed_.fetch_add(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_release);
 }
 
 void Server::WorkerLoop() {
@@ -354,19 +378,48 @@ std::vector<std::shared_ptr<Server::Pending>> Server::NextBatch() {
   return batch;
 }
 
+void Server::FailBatch(const std::vector<std::shared_ptr<Pending>>& batch,
+                       const core::Status& status) {
+  // Even in a failed batch the deadline contract holds: a waiter whose
+  // deadline has passed was "never scored within its deadline" and
+  // gets DeadlineExceeded (counted in expired), not the batch error —
+  // the same result it would have observed had the batch succeeded.
+  const uint64_t now_nanos = clock_->NowNanos();
+  for (const auto& pending : batch) {
+    if (pending->deadline_nanos_ != 0 &&
+        now_nanos >= pending->deadline_nanos_) {
+      CompleteExpiredRequest(pending);
+      continue;
+    }
+    pending->Complete(status);
+    completed_.fetch_add(1, std::memory_order_release);
+  }
+}
+
 void Server::RunBatch(const std::vector<std::shared_ptr<Pending>>& batch) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t service_start_nanos = clock_->NowNanos();
+  // Pin this batch's catalog epoch: one snapshot for validation and
+  // every row read, taken BEFORE the chaos hook so a stalled worker
+  // holds its pre-stall epoch across any swap published while it is
+  // parked. The pin is registered for the health check and released in
+  // FinishBatch; the snapshot itself lives until this frame unwinds,
+  // which is what delays old-epoch reclamation until the batch drains.
+  const auto snapshot = store_->Snapshot();
+  const uint64_t pinned_generation =
+      snapshot != nullptr ? snapshot->generation() : store_->generation();
+  {
+    core::MutexLock lock(mutex_);
+    pinned_generations_.insert(pinned_generation);
+  }
   // Chaos seam: may park this worker (injected stall) or fail the
   // whole batch with an injected status — which must flow to every
-  // waiter as a typed result, exactly like a real scoring failure.
+  // live waiter as a typed result, exactly like a real scoring
+  // failure.
   if (options_.chaos != nullptr) {
     if (auto injected = options_.chaos->OnBatchStart(); !injected.ok()) {
-      for (const auto& pending : batch) {
-        pending->Complete(injected);
-        completed_.fetch_add(1, std::memory_order_relaxed);
-      }
-      FinishBatch(service_start_nanos);
+      FailBatch(batch, injected);
+      FinishBatch(service_start_nanos, pinned_generation);
       return;
     }
   }
@@ -389,18 +442,18 @@ void Server::RunBatch(const std::vector<std::shared_ptr<Pending>>& batch) {
     metrics->batch_pairs->Observe(static_cast<double>(total_pairs));
   }
   obs::Timer score_timer;
-  auto scored = scorer_.ScorePairs(merged);
+  auto scored = scorer_.ScorePairs(merged, snapshot);
   if (record) {
     metrics->batch_score_us->Observe(score_timer.ElapsedMicros());
   }
   if (!scored.ok()) {
-    // Batch-level failure (e.g. the store went stale between admission
-    // and scoring): every request in the batch gets the typed error.
-    for (const auto& pending : batch) {
-      pending->Complete(scored.status());
-      completed_.fetch_add(1, std::memory_order_relaxed);
-    }
-    FinishBatch(service_start_nanos);
+    // Batch-level failure, typed: the store went stale (null snapshot
+    // after Invalidate) or the pinned epoch no longer covers an id the
+    // request was admitted under (catalog shrank in a Rebuild). Every
+    // live request in the batch gets the typed error — never a torn or
+    // stale-row score.
+    FailBatch(batch, scored.status());
+    FinishBatch(service_start_nanos, pinned_generation);
     return;
   }
   const std::vector<float>& scores = scored.value().scores;
@@ -424,15 +477,20 @@ void Server::RunBatch(const std::vector<std::shared_ptr<Pending>>& batch) {
         scores.begin() + static_cast<ptrdiff_t>(offset + count));
     offset += count;
     pending->Complete(std::move(response));
-    completed_.fetch_add(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_release);
   }
-  FinishBatch(service_start_nanos);
+  FinishBatch(service_start_nanos, pinned_generation);
 }
 
-void Server::FinishBatch(uint64_t service_start_nanos) {
+void Server::FinishBatch(uint64_t service_start_nanos,
+                         uint64_t pinned_generation) {
   const double sample_us =
       static_cast<double>(clock_->NowNanos() - service_start_nanos) / 1e3;
   core::MutexLock lock(mutex_);
+  // Release this batch's epoch pin. The multiset erase removes exactly
+  // one entry, so concurrent workers pinned to the same generation keep
+  // their own pins.
+  pinned_generations_.erase(pinned_generations_.find(pinned_generation));
   // First completed batch seeds the EWMA; afterwards standard
   // exponential smoothing. A ManualClock that never advances keeps the
   // EWMA cold (sample 0), which tests use to isolate admission

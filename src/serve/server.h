@@ -6,6 +6,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -71,9 +72,25 @@ namespace hygnn::serve {
 ///   hint, so overload degrades to fast typed errors instead of
 ///   queueing work that is already dead.
 ///
-/// The model and store must outlive the server. Workers read the store
-/// lock-free, so catalog mutations (AddDrug/Rebuild/Invalidate) must
-/// be quiesced around: Shutdown, mutate, Start a fresh server.
+/// Hot catalog swap (epoch pinning):
+/// * Catalog mutations (AddDrug/Rebuild/Invalidate) need NO quiesce:
+///   they publish a new EmbeddingStore snapshot while the server keeps
+///   serving. Each batch pins exactly one StoreSnapshot at batch open
+///   and scores every pair in it against that epoch, so per-request
+///   results stay bit-identical to serial scoring regardless of
+///   concurrent publications; the superseded snapshot is reclaimed
+///   when the last batch pinned to it drains (shared_ptr refcount is
+///   the grace period).
+/// * SubmitAsync validates pair ids against the *current* epoch. A
+///   request validated against epoch N whose batch later pins a
+///   different epoch gets a well-defined outcome: ids stay valid when
+///   the catalog only grew (AddDrug), and a shrink (Rebuild) or
+///   Invalidate yields a typed InvalidArgument/FailedPrecondition —
+///   never a torn or stale-row score.
+/// * Health() reports kSwapping while a batch pinned to a superseded
+///   epoch is still in flight — the brief swap transition window.
+///
+/// The model and store must outlive the server.
 class Server {
  public:
   /// A submitted request's completion handle. Submitter and worker
@@ -128,7 +145,9 @@ class Server {
 
   /// Always-on pipeline counters (relaxed atomics — cheap enough to
   /// never gate). The obs registry mirrors richer per-stage histograms
-  /// when metrics are enabled.
+  /// when metrics are enabled. `accepted` is bumped inside the
+  /// admission critical section — before any worker can see the
+  /// request — so a stats() sample never shows completed > accepted.
   struct Stats {
     uint64_t accepted = 0;   ///< requests admitted to the queue
     uint64_t shed = 0;       ///< requests refused with ResourceExhausted
@@ -149,11 +168,16 @@ class Server {
   /// ("serve.server.health", numeric value of this enum): kServing
   /// while the queue is comfortably below capacity, kDegraded once it
   /// is at least half full (admission may start shedding), kDraining
-  /// after Shutdown began (all new requests refused).
+  /// after Shutdown began (all new requests refused). kSwapping is the
+  /// brief catalog-swap transition: a batch pinned to a superseded
+  /// store epoch is still draining. Precedence when states overlap:
+  /// kDraining > kDegraded > kSwapping > kServing — a swap never masks
+  /// queue pressure, and both yield to shutdown.
   enum class Health : int32_t {
     kServing = 0,
     kDegraded = 1,
     kDraining = 2,
+    kSwapping = 3,
   };
 
   /// Model and store must outlive the server; `options` are validated
@@ -206,9 +230,12 @@ class Server {
   /// shutdown-and-drained: the worker should exit.
   std::vector<std::shared_ptr<Pending>> NextBatch() HYGNN_EXCLUDES(mutex_);
 
-  /// Scores one batch and completes every request in it (expired ones
-  /// with DeadlineExceeded), then folds the batch's service time into
-  /// the admission EWMA.
+  /// Scores one batch against one pinned store epoch and completes
+  /// every request in it (expired ones with DeadlineExceeded), then
+  /// folds the batch's service time into the admission EWMA. The epoch
+  /// pin is taken at entry — before the chaos hook, so a stalled batch
+  /// holds its pre-stall epoch across any swap that publishes while it
+  /// is parked — and released when the batch's frame unwinds.
   void RunBatch(const std::vector<std::shared_ptr<Pending>>& batch);
 
   /// Completes one expired request with DeadlineExceeded and bumps the
@@ -216,9 +243,19 @@ class Server {
   /// (Pending has its own lock; no path acquires mutex_ after it).
   void CompleteExpiredRequest(const std::shared_ptr<Pending>& pending);
 
+  /// Delivers a batch-level failure: every waiter gets `status`,
+  /// except those whose deadline has already passed — the
+  /// "never scored within its deadline => DeadlineExceeded" contract
+  /// outranks the batch error, so expired waiters get the typed expiry
+  /// (and count in Stats::expired) even when their batch failed.
+  void FailBatch(const std::vector<std::shared_ptr<Pending>>& batch,
+                 const core::Status& status);
+
   /// Folds one batch's service time (open to results delivered) into
-  /// the admission EWMA and republishes health.
-  void FinishBatch(uint64_t service_start_nanos) HYGNN_EXCLUDES(mutex_);
+  /// the admission EWMA, releases the batch's epoch pin
+  /// (`pinned_generation`), and republishes health.
+  void FinishBatch(uint64_t service_start_nanos, uint64_t pinned_generation)
+      HYGNN_EXCLUDES(mutex_);
 
   Health HealthLocked() const HYGNN_REQUIRES(mutex_);
 
@@ -248,6 +285,11 @@ class Server {
   /// microseconds; 0 until the first batch completes. Drives
   /// deadline-aware admission and retry-after hints.
   double ewma_batch_us_ HYGNN_GUARDED_BY(mutex_) = 0.0;
+  /// Store generations of the in-flight batches' pinned epochs (one
+  /// entry per batch between RunBatch entry and its FinishBatch). The
+  /// health check reports kSwapping while the oldest pinned generation
+  /// trails the store's current one.
+  std::multiset<uint64_t> pinned_generations_ HYGNN_GUARDED_BY(mutex_);
 
   /// Touched only by Start/Shutdown/destructor (single owning thread).
   std::vector<core::WorkerThread> workers_;

@@ -13,11 +13,15 @@
 //   * shutdown during a stall drains cleanly, survivors bit-identical
 //     to serial scoring;
 //   * fire-and-forget submitters (dropped Pending handles) leak and
-//     hang nothing — pinned under tsan and asan by scripts/check.sh.
+//     hang nothing — pinned under tsan and asan by scripts/check.sh;
+//   * an expired waiter in a *failed* batch still gets its typed
+//     DeadlineExceeded, never the batch error;
+//   * stats() never transiently reports completed > accepted.
 //
 // Raw std::thread is fine here (tests are exempt from the
 // thread_pool-only lint rule).
 
+#include <atomic>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -432,6 +436,85 @@ TEST_F(ServerChaosTest, FireAndForgetAcrossShutdownCompletesEverything) {
   server.Shutdown();
   EXPECT_EQ(server.stats().completed, requests.size());
   EXPECT_EQ(server.stats().expired, 0u);
+}
+
+TEST_F(ServerChaosTest, ExpiredWaiterInFailedBatchGetsDeadlineExceeded) {
+  core::ManualClock manual;
+  core::ScopedClock scoped(&manual);
+  FaultInjectingScorer chaos;
+  // Stall and fail the same batch: the stall lets the test advance the
+  // clock past one waiter's deadline before the injected failure
+  // lands.
+  chaos.StallNthBatch(1);
+  chaos.FailNthBatch(1, core::Status::Internal("injected scorer crash"));
+  ServerOptions options = ChaosOptions(&chaos);
+  options.max_batch = 4096;  // coalesce both requests into batch 1
+  Server server(model_, store_, options);
+
+  const auto requests = MakeRequests(2);
+  auto a = server.SubmitAsync(requests[0]);  // no deadline
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ScoreRequest with_deadline = requests[1];
+  with_deadline.timeout_us = 1000;
+  auto b = server.SubmitAsync(with_deadline);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  // Submitted before Start, so both join batch 1, which parks at open.
+  ASSERT_TRUE(server.Start().ok());
+  chaos.AwaitStalled();
+  manual.AdvanceMicros(2000);  // B's deadline passes while parked
+  chaos.ReleaseStall();
+
+  // The live waiter gets the injected batch error, typed.
+  auto a_result = a.value()->Wait();
+  ASSERT_FALSE(a_result.ok());
+  EXPECT_EQ(a_result.status().code(), core::StatusCode::kInternal);
+  EXPECT_NE(a_result.status().message().find("injected"),
+            std::string::npos);
+
+  // The expired waiter keeps the deadline contract even though its
+  // batch failed: DeadlineExceeded (what it would have observed had
+  // the batch scored), not the batch error.
+  auto b_result = b.value()->Wait();
+  ASSERT_FALSE(b_result.ok());
+  EXPECT_EQ(b_result.status().code(),
+            core::StatusCode::kDeadlineExceeded);
+  EXPECT_NE(b_result.status().message().find("1000"), std::string::npos);
+
+  server.Shutdown();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST_F(ServerChaosTest, StatsNeverReportMoreCompletedThanAccepted) {
+  // Regression: accepted_ used to be bumped *after* the admission
+  // critical section, so a fast worker could complete a request before
+  // its acceptance was recorded and a concurrent stats() reader saw
+  // completed > accepted. A poller samples the invariant continuously
+  // while requests flow; tsan additionally watches the window.
+  Server server(model_, store_, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> done{false};
+  std::thread poller([&server, &done] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto stats = server.stats();
+      EXPECT_LE(stats.completed, stats.accepted);
+    }
+  });
+  const auto requests = MakeRequests(8);
+  for (int32_t round = 0; round < 8; ++round) {
+    for (const auto& request : requests) {
+      auto result = server.Score(request);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+    }
+  }
+  done.store(true, std::memory_order_release);
+  poller.join();
+  server.Shutdown();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed, stats.accepted);
 }
 
 // ---------------------------------------------------------------------
